@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark harnesses.
+
+The paper's evaluation artifacts come from two expensive sweeps: the
+software-level profile (Section V: Table III, Figs. 6-8) and the
+architecture-level profile (Section VI: Figs. 9-10).  Both run once per
+benchmark session here; the per-table/figure benchmarks then time their
+reduction step and write the rendered artifact to
+``benchmarks/output/``.
+
+Set ``SAGA_BENCH_QUICK=1`` to run the sweeps at reduced scale while
+developing.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_hardware_profile, run_software_profile
+from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
+from repro.streaming import StreamConfig
+
+QUICK = bool(int(os.environ.get("SAGA_BENCH_QUICK", "0")))
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    """False under SAGA_BENCH_QUICK: skip full-scale shape assertions."""
+    return not QUICK
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def record_output(output_dir):
+    """Write one rendered artifact to disk and echo it."""
+
+    def _record(name: str, text: str) -> str:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return text
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def software_profile():
+    """The full Section V sweep: all datasets, 4 structures x 2 models."""
+    if QUICK:
+        return run_software_profile(
+            datasets=["LJ", "Talk"],
+            config=StreamConfig(batch_size=1000),
+            size_factor=0.2,
+        )
+    return run_software_profile()
+
+
+@pytest.fixture(scope="session")
+def hardware_profile():
+    """The full Section VI sweep on the scaled cache hierarchy."""
+    if QUICK:
+        return run_hardware_profile(
+            machine=SCALED_SKYLAKE_GOLD_6142,
+            core_counts=(4, 8, 16),
+            short_tailed=("LJ",),
+            heavy_tailed=("Talk",),
+            algorithms=("BFS", "CC", "PR"),
+            size_factor=0.5,
+            batch_size=1250,
+            trace_cap=20_000,
+        )
+    return run_hardware_profile(
+        machine=SCALED_SKYLAKE_GOLD_6142,
+        core_counts=(4, 8, 12, 16, 20, 24, 28),
+        trace_cap=40_000,
+    )

@@ -1,0 +1,125 @@
+"""Ablation benches: flip each mechanism DESIGN.md calls load-bearing.
+
+Every mechanism the characterization story depends on is disabled (via
+a modified cost model or structure configuration) and the headline
+effect is shown to shrink or invert -- demonstrating that the paper's
+conclusions come from the mechanisms, not from tuning.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graph import ExecutionContext, make_structure
+from repro.sim.cost_model import DEFAULT_COST_MODEL
+from repro.sim.machine import SKYLAKE_GOLD_6142
+from repro.streaming import make_batches
+
+
+def _p3_update_ratio(structure_a, structure_b, dataset_name, cost_model, chunk_kwargs=None):
+    """P3 update-latency ratio structure_a / structure_b."""
+    dataset = load_dataset(dataset_name, seed=3, size_factor=0.5)
+    batches = make_batches(dataset.edges, 1500, shuffle_seed=3)
+    ctx = ExecutionContext(machine=SKYLAKE_GOLD_6142, cost_model=cost_model)
+    totals = {}
+    for name in (structure_a, structure_b):
+        structure = make_structure(
+            name,
+            dataset.max_nodes,
+            directed=dataset.directed,
+            cost_model=cost_model,
+            **(chunk_kwargs or {}) if name in ("AC", "DAH") else {},
+        )
+        p3_start = len(batches) - max(len(batches) // 3, 1)
+        p3_total = 0.0
+        for index, batch in enumerate(batches):
+            latency = structure.update(batch, ctx).latency_cycles
+            if index >= p3_start:
+                p3_total += latency
+        totals[name] = p3_total
+    return totals[structure_a] / totals[structure_b]
+
+
+class TestLockContentionAblation:
+    """AS's heavy-tailed collapse is driven by contended coarse locks."""
+
+    def test_with_contention_as_loses_heavy_tailed(self, benchmark):
+        ratio = benchmark.pedantic(
+            _p3_update_ratio,
+            args=("AS", "DAH", "Talk", DEFAULT_COST_MODEL),
+            rounds=1,
+            iterations=1,
+        )
+        assert ratio > 2.0, f"AS should lose badly on Talk, got {ratio:.2f}x"
+
+    def test_without_contention_gap_shrinks(self):
+        free_locks = dataclasses.replace(
+            DEFAULT_COST_MODEL,
+            lock_contended_penalty=0.0,
+            fine_lock_contended_penalty=0.0,
+            lock_acquire=0.0,
+            lock_release=0.0,
+        )
+        with_contention = _p3_update_ratio("AS", "DAH", "Talk", DEFAULT_COST_MODEL)
+        without = _p3_update_ratio("AS", "DAH", "Talk", free_locks)
+        assert without < with_contention, (without, with_contention)
+
+
+class TestDegreeQueryAblation:
+    """DAH's short-tailed update penalty comes from its meta-operations."""
+
+    def test_free_meta_ops_shrink_daho_overhead(self):
+        free_meta = dataclasses.replace(
+            DEFAULT_COST_MODEL, degree_query=0.0, flush_per_edge=0.0
+        )
+        with_meta = _p3_update_ratio("DAH", "AC", "LJ", DEFAULT_COST_MODEL)
+        without = _p3_update_ratio("DAH", "AC", "LJ", free_meta)
+        assert without < with_meta, (without, with_meta)
+
+
+class TestStingerSecondScanAblation:
+    """Stinger's short-tailed penalty over AS comes from pointer chasing
+    in its two scans."""
+
+    def test_free_pointer_chase_closes_gap(self):
+        free_chase = dataclasses.replace(DEFAULT_COST_MODEL, pointer_chase=0.0)
+        with_chase = _p3_update_ratio("Stinger", "AS", "LJ", DEFAULT_COST_MODEL)
+        without = _p3_update_ratio("Stinger", "AS", "LJ", free_chase)
+        assert without < with_chase, (without, with_chase)
+
+
+class TestChunkCountAblation:
+    """Chunked structures need enough chunks to feed the threads."""
+
+    @pytest.mark.parametrize("chunks", [1, 64])
+    def test_chunk_scaling(self, benchmark, chunks):
+        ratio = benchmark.pedantic(
+            _p3_update_ratio,
+            args=("DAH", "AS", "LJ", DEFAULT_COST_MODEL),
+            kwargs={"chunk_kwargs": {"chunks": chunks}},
+            rounds=1,
+            iterations=1,
+        )
+        assert ratio > 0
+
+    def test_one_chunk_serializes_dah(self):
+        serial = _p3_update_ratio(
+            "DAH", "AS", "LJ", DEFAULT_COST_MODEL, chunk_kwargs={"chunks": 1}
+        )
+        parallel = _p3_update_ratio(
+            "DAH", "AS", "LJ", DEFAULT_COST_MODEL, chunk_kwargs={"chunks": 64}
+        )
+        assert serial > 3 * parallel, (serial, parallel)
+
+
+class TestRoutingAblation:
+    """AC's fixed per-batch cost over AS is the chunk routing scan."""
+
+    def test_free_routing_brings_ac_to_as(self):
+        free_route = dataclasses.replace(DEFAULT_COST_MODEL, route_edge=0.0)
+        with_route = _p3_update_ratio("AC", "AS", "LJ", DEFAULT_COST_MODEL)
+        without = _p3_update_ratio("AC", "AS", "LJ", free_route)
+        assert without < with_route, (without, with_route)
+        assert without < 1.6, f"lockless AC without routing ~ AS, got {without:.2f}"

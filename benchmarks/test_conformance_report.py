@@ -1,0 +1,26 @@
+"""The conformance report: every paper claim checked at full scale.
+
+Reuses the session's software and hardware sweeps, so the marginal
+cost is just the reduction.  The report is the reproduction's
+bottom line: which of the paper's findings this codebase upholds.
+"""
+
+from repro.analysis.conformance import conformance_report, render_conformance
+
+
+def test_conformance_report(
+    benchmark, software_profile, hardware_profile, record_output, full_scale
+):
+    results = benchmark.pedantic(
+        conformance_report,
+        args=(software_profile, hardware_profile),
+        rounds=1,
+        iterations=1,
+    )
+    record_output("conformance", render_conformance(results))
+    assert results
+    if full_scale:
+        passed = sum(1 for r in results if r.passed)
+        assert passed == len(results), render_conformance(
+            [r for r in results if not r.passed]
+        )

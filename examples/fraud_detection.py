@@ -1,0 +1,83 @@
+"""Real-time fraud monitoring: why the incremental model matters.
+
+The second motivating scenario of the paper: a payment network streams
+transactions and wants near-real-time signals on every batch --
+which accounts became reachable from a flagged account (BFS), and how
+money-flow clusters merge (connected components).
+
+The freshness requirement rules out recomputing from scratch per
+batch; this example measures the from-scratch (FS) vs incremental
+(INC) compute latency side by side as the transaction graph grows,
+showing the paper's Section V-C finding: the incremental model's
+advantage grows with the graph.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.compute.pricing import price_compute_run
+from repro.datasets.rmat import rmat_edges
+from repro.graph import ExecutionContext, ReferenceGraph
+from repro.streaming import make_batches
+
+SCALE = 14  # 16384 accounts
+EDGES = 60000  # transactions
+BATCH = 2500
+
+
+def main() -> None:
+    # Transaction graphs are bursty and skewed: R-MAT is the classic
+    # generative model for them.
+    transactions = rmat_edges(scale=SCALE, num_edges=EDGES, seed=3)
+    batches = make_batches(transactions, BATCH, shuffle_seed=3)
+    nodes = 1 << SCALE
+
+    graph = ReferenceGraph(nodes, directed=True)
+    ctx = ExecutionContext()
+    flagged_account = int(np.bincount(transactions.src).argmax())
+
+    algorithms = {name: get_algorithm(name) for name in ("BFS", "CC")}
+    states = {name: algorithm.make_state(nodes) for name, algorithm in algorithms.items()}
+    deg_in = np.zeros(nodes, dtype=np.int64)
+    deg_out = np.zeros(nodes, dtype=np.int64)
+
+    print(f"monitoring {len(batches)} transaction batches "
+          f"(flagged account: {flagged_account})")
+    print(f"{'batch':>5s} {'|E|':>7s}  "
+          f"{'BFS FS':>9s} {'BFS INC':>9s} {'speedup':>8s}  "
+          f"{'CC FS':>9s} {'CC INC':>9s} {'speedup':>8s}")
+
+    for index, batch in enumerate(batches):
+        for u, v, _ in graph.update_collect(batch):
+            deg_out[u] += 1
+            deg_in[v] += 1
+        n = graph.num_nodes
+        row = [f"{index:>5d} {graph.num_edges:>7d} "]
+        for name, algorithm in algorithms.items():
+            fs = algorithm.fs_run(graph, source=flagged_account)
+            affected = algorithm.affected_from_batch(batch, graph)
+            inc = algorithm.inc_run(
+                graph, states[name], affected, source=flagged_account
+            )
+            fs_ms = price_compute_run(
+                fs, "AS", deg_in[:n], deg_out[:n], ctx
+            ).latency_seconds(ctx.machine) * 1e3
+            inc_ms = price_compute_run(
+                inc, "AS", deg_in[:n], deg_out[:n], ctx
+            ).latency_seconds(ctx.machine) * 1e3
+            row.append(f"{fs_ms:>9.3f} {inc_ms:>9.3f} {fs_ms / inc_ms:>7.1f}x ")
+        print(" ".join(row))
+
+    bfs_values = states["BFS"].values
+    reachable = int(np.isfinite(bfs_values[: graph.num_nodes]).sum())
+    components = len(set(states["CC"].values[: graph.num_nodes].tolist()))
+    print(f"\nafter the stream: {reachable} accounts reachable from the "
+          f"flagged account; {components} money-flow clusters")
+    print("the incremental model's advantage grows with the graph -- "
+          "exactly the paper's Fig. 7 trend")
+
+
+if __name__ == "__main__":
+    main()

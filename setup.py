@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline environment lacks the ``wheel`` package that PEP 517
+editable installs require, so ``pip install -e . --no-build-isolation
+--no-use-pep517`` goes through this shim instead.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,321 @@
+"""Algorithm base class and the shared FS execution engines.
+
+An :class:`Algorithm` supplies its Table-I vertex function plus an FS
+implementation; the INC side is fully generic (Algorithm 1).  Two FS
+engines cover five of the six algorithms:
+
+- :func:`synchronous_fixpoint` -- evaluate every vertex's pull function
+  each iteration until nothing changes (CC, MC and, with a tolerance,
+  PR's power iteration).  Vectorized over an in-edge array.
+- :func:`frontier_relaxation` -- push-style rounds relaxing the
+  out-edges of an active frontier (BFS, SSWP).  SSSP's delta-stepping
+  lives in its own module.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.compute.incremental import DEFAULT_EPSILON, run_incremental
+from repro.compute.state import AlgorithmState
+from repro.compute.stats import ComputeRun, IterationStats
+from repro.errors import SimulationError
+from repro.graph.edge import EdgeBatch
+
+
+class Algorithm(abc.ABC):
+    """One vertex-centric algorithm in both compute models."""
+
+    #: Paper name ("BFS", "CC", "MC", "PR", "SSSP", "SSWP").
+    name: str = "?"
+
+    #: True when edge weights matter (SSSP, SSWP).
+    uses_weights: bool = False
+
+    #: True when the vertex function queries each in-neighbor's
+    #: out-degree (PR's rank normalization) -- extra degree-query
+    #: meta-operations on DAH (Section V-B).
+    neighbor_degree_query: bool = False
+
+    #: True for single-source algorithms (BFS, SSSP, SSWP).
+    needs_source: bool = False
+
+    #: Triggering threshold for the INC engine.
+    epsilon: float = DEFAULT_EPSILON
+
+    #: Direction of monotone convergence under insertions: "min" when
+    #: values only improve downward (BFS, CC, SSSP), "max" when upward
+    #: (MC, SSWP), None when not monotone (PR).  Drives the sound
+    #: deletion handling in :meth:`inc_delete_run`.
+    monotonic: Optional[str] = None
+
+    # -- values ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def init_value(self, ids: np.ndarray) -> np.ndarray:
+        """Initial property values for vertex ids ``ids``."""
+
+    def make_state(self, max_nodes: int) -> AlgorithmState:
+        """Fresh persistent state for an INC stream."""
+        return AlgorithmState(max_nodes, self.init_value, name=self.name)
+
+    @abc.abstractmethod
+    def recalculate(self, v: int, view, values: np.ndarray) -> float:
+        """The pull-style vertex function of Table I."""
+
+    # -- runs -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+        """Recomputation from scratch on the current graph.
+
+        ``in_edges`` optionally supplies pre-extracted ``(src, dst,
+        weight)`` arrays of the view's in-edges; the synchronous
+        algorithms use them to skip re-extraction (the streaming driver
+        maintains them incrementally).
+        """
+
+    def inc_run(
+        self,
+        view,
+        state: AlgorithmState,
+        affected: Iterable[int],
+        source: Optional[int] = None,
+    ) -> ComputeRun:
+        """Incremental run (Algorithm 1) updating ``state`` in place."""
+        state.ensure_initialized(view.num_nodes)
+        if self.needs_source:
+            if source is None:
+                raise SimulationError(f"{self.name} requires a source vertex")
+            state.values[source] = self.source_value()
+
+        def recalc(v: int) -> float:
+            if self.needs_source and v == source:
+                return state.values[v]
+            return self.recalculate(v, view, state.values)
+
+        run = run_incremental(
+            view,
+            state.values,
+            affected,
+            recalc,
+            algorithm=self.name,
+            epsilon=self.epsilon,
+        )
+        run.source = source
+        return run
+
+    def source_value(self) -> float:
+        """The pinned value of the source vertex (single-source only)."""
+        raise SimulationError(f"{self.name} has no source value")
+
+    # -- deletions --------------------------------------------------------
+
+    def supports(self, source_value: float, weight: float, target_value: float) -> bool:
+        """Could ``target_value`` have been derived via this edge?
+
+        The derivation test used by the deletion invalidation: return
+        True when applying the vertex function's edge term to
+        ``source_value`` yields exactly ``target_value``.  The default
+        is the conservative always-True (safe but invalidates more).
+        """
+        return True
+
+    def inc_delete_run(
+        self,
+        view,
+        state: AlgorithmState,
+        deleted_edges,
+        source: Optional[int] = None,
+    ) -> ComputeRun:
+        """Incremental recomputation after a deletion batch (sound).
+
+        Plain Algorithm 1 is insertion-only: stale values can survive
+        deletions through cycles of mutual support.  For the monotone
+        algorithms this method first invalidates the possibly-tainted
+        region (KickStarter-style, see
+        :func:`repro.compute.incremental.invalidate_after_deletions`),
+        then re-derives it with a normal incremental run.  ``view``
+        must already reflect the deletions; ``deleted_edges`` is the
+        ``(src, dst, weight)`` list actually removed.
+
+        Non-monotone algorithms (PR) fall back to a plain incremental
+        run over the deletion endpoints, which converges to the new
+        fixpoint without invalidation.
+        """
+        from repro.compute.incremental import invalidate_after_deletions
+
+        state.ensure_initialized(view.num_nodes)
+        edges = list(deleted_edges)
+        if not getattr(view, "directed", True):
+            edges = edges + [(v, u, w) for u, v, w in edges if u != v]
+        endpoints = {v for _, v, _ in edges} | {u for u, _, _ in edges}
+        if self.monotonic is None:
+            return self.inc_run(view, state, endpoints, source=source)
+        pinned = set()
+        if self.needs_source:
+            if source is None:
+                raise SimulationError(f"{self.name} requires a source vertex")
+            state.values[source] = self.source_value()
+            pinned.add(source)
+        affected = invalidate_after_deletions(
+            view,
+            state.values,
+            edges,
+            self.supports,
+            state.init_fn,
+            pinned=pinned,
+        )
+        return self.inc_run(view, state, affected | endpoints, source=source)
+
+    # -- affected set ----------------------------------------------------
+
+    def affected_from_batch(self, batch: EdgeBatch, view) -> Set[int]:
+        """Vertices directly affected by ingesting ``batch``.
+
+        The default marks both endpoints of every edge: the pull-side
+        vertex function of the destination sees a new in-edge, and on
+        undirected graphs both ends gain a neighbor.
+        """
+        affected: Set[int] = set()
+        for i in range(len(batch)):
+            affected.add(int(batch.src[i]))
+            affected.add(int(batch.dst[i]))
+        return affected
+
+
+# ----------------------------------------------------------------------
+# Fast neighbor iteration
+# ----------------------------------------------------------------------
+
+
+def in_pairs(view, v: int):
+    """``(neighbor, weight)`` pairs of v's in-edges, fastest path.
+
+    :class:`~repro.graph.reference.ReferenceGraph` exposes its internal
+    dicts via ``in_items``; other views fall back to ``in_neigh``.
+    The vertex functions run millions of times, so this matters.
+    """
+    getter = getattr(view, "in_items", None)
+    if getter is not None:
+        return getter(v).items()
+    return view.in_neigh(v)
+
+
+def in_sources(view, v: int):
+    """Just the source vertices of v's in-edges (weights unused)."""
+    getter = getattr(view, "in_items", None)
+    if getter is not None:
+        return getter(v)
+    return [u for u, _ in view.in_neigh(v)]
+
+
+def out_targets(view, v: int):
+    """Just the target vertices of v's out-edges."""
+    getter = getattr(view, "out_items", None)
+    if getter is not None:
+        return getter(v)
+    return [w for w, _ in view.out_neigh(v)]
+
+
+# ----------------------------------------------------------------------
+# Shared FS engines
+# ----------------------------------------------------------------------
+
+
+def extract_in_edges(view) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All edges as (src, dst, weight) arrays, grouped by destination.
+
+    Used by the vectorized synchronous engine; the arrays describe the
+    in-edges of every vertex (for undirected views, both orientations
+    appear, matching ``in_neigh``).
+    """
+    srcs, dsts, weights = [], [], []
+    for v in range(view.num_nodes):
+        for u, w in view.in_neigh(v):
+            srcs.append(u)
+            dsts.append(v)
+            weights.append(w)
+    return (
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+def synchronous_fixpoint(
+    view,
+    values: np.ndarray,
+    combine: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+    algorithm: str,
+    epsilon: float = 0.0,
+    max_iterations: int = 1000,
+    in_edges=None,
+) -> ComputeRun:
+    """Jacobi iteration of a pull-style vertex function over all vertices.
+
+    ``combine(values, src, dst, weight)`` returns the next value array
+    given the current one and the in-edge arrays.  Iterates until the
+    largest change is at most ``epsilon``.
+    """
+    n = view.num_nodes
+    run = ComputeRun(algorithm=algorithm, model="FS", values=values)
+    run.linear_scans = 1  # the from-scratch reset
+    if n == 0:
+        return run
+    src, dst, weight = in_edges if in_edges is not None else extract_in_edges(view)
+    everyone = np.arange(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        new_values = combine(values, src, dst, weight)
+        # inf - inf (an unreached vertex staying unreached) is NaN: not
+        # a change.  A transition between finite and infinite is +/-inf:
+        # a real change, kept as such.
+        delta = np.abs(np.nan_to_num(new_values - values, nan=0.0))
+        values[:] = new_values
+        run.iterations.append(IterationStats.make(pull=everyone))
+        if float(delta.max(initial=0.0)) <= epsilon:
+            return run
+    run.converged = False
+    return run
+
+
+def frontier_relaxation(
+    view,
+    values: np.ndarray,
+    source: int,
+    relax: Callable[[float, float], float],
+    better: Callable[[float, float], bool],
+    algorithm: str,
+) -> ComputeRun:
+    """Round-based push-style relaxation from ``source`` (BFS, SSWP).
+
+    Each round scans the out-edges of the active frontier; a neighbor
+    whose tentative value improves joins the next frontier.
+    """
+    run = ComputeRun(algorithm=algorithm, model="FS", values=values, source=source)
+    run.linear_scans = 1
+    if source >= view.num_nodes:
+        return run
+    frontier = [source]
+    while frontier:
+        next_frontier = []
+        improved = np.zeros(view.num_nodes, dtype=bool)
+        pushes = 0
+        for v in frontier:
+            base = values[v]
+            for w, wt in view.out_neigh(v):
+                candidate = relax(base, wt)
+                if better(candidate, values[w]):
+                    values[w] = candidate
+                    if not improved[w]:
+                        improved[w] = True
+                        next_frontier.append(w)
+                        pushes += 1
+        run.iterations.append(
+            IterationStats.make(push=frontier, pushes=pushes, cas_ops=pushes)
+        )
+        frontier = next_frontier
+    return run

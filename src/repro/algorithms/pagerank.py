@@ -1,0 +1,108 @@
+"""PageRank.
+
+Table I vertex function:
+``v.rank <- 0.15/|V| + 0.85 * sum over in-edges of
+(e.source.rank / e.source.out_degree)``.
+
+Two properties make PR distinctive in the paper's characterization:
+
+- its vertex function queries the **out-degree of every in-neighbor**
+  (the normalization term), which on DAH costs an extra hash-table
+  meta-query per neighbor -- the reason DAH's compute latency is worst
+  on PR (up to 4.7x AS, Section V-B);
+- its incremental variant is the paper's Algorithm 1 verbatim,
+  including the 1e-7 triggering threshold.
+
+FS implementation: power iteration (vectorized Jacobi sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, in_sources, out_targets, synchronous_fixpoint
+from repro.compute.state import AlgorithmState
+from repro.compute.stats import ComputeRun
+from repro.graph.edge import EdgeBatch
+
+#: Damping factor of Table I's vertex function.
+DAMPING = 0.85
+
+#: Convergence / triggering threshold (Algorithm 1 line 1).
+PR_EPSILON = 1e-7
+
+
+class PageRank(Algorithm):
+    """PageRank with the paper's damped, size-normalized formula."""
+
+    name = "PR"
+    neighbor_degree_query = True
+    epsilon = PR_EPSILON
+
+    def init_value(self, ids: np.ndarray) -> np.ndarray:
+        # Placeholder used only before the first batch; real
+        # initialization is 1/|V| at the size when the vertex appears.
+        return np.zeros(len(ids))
+
+    def recalculate(self, v: int, view, values: np.ndarray) -> float:
+        total = 0.0
+        out_degree = view.out_degree
+        for u in in_sources(view, v):
+            total += values[u] / out_degree(u)
+        return (1.0 - DAMPING) / max(view.num_nodes, 1) + DAMPING * total
+
+    def inc_run(
+        self,
+        view,
+        state: AlgorithmState,
+        affected: Iterable[int],
+        source: Optional[int] = None,
+    ) -> ComputeRun:
+        # New vertices start at 1/|V| of the *current* graph
+        # (Algorithm 1 line 4).
+        n = max(view.num_nodes, 1)
+        state.init_fn = lambda ids: np.full(len(ids), 1.0 / n)
+        return super().inc_run(view, state, affected, source=source)
+
+    def affected_from_batch(self, batch: EdgeBatch, view) -> set:
+        """PR's affected set additionally covers rank renormalization.
+
+        Inserting ``(u, v)`` changes v's in-edges *and* u's out-degree;
+        the latter perturbs the term ``rank(u)/out_degree(u)`` seen by
+        every existing out-neighbor of u.
+        """
+        affected = set()
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            affected.add(u)
+            affected.add(v)
+            affected.update(out_targets(view, u))
+        return affected
+
+    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+        n = max(view.num_nodes, 1)
+        values = np.full(n, 1.0 / n)
+        out_degree = np.asarray(
+            [max(view.out_degree(v), 1) for v in range(view.num_nodes)] or [1],
+            dtype=np.float64,
+        )
+        base = (1.0 - DAMPING) / n
+
+        def combine(current, src, dst, weight):
+            sums = np.zeros(len(current))
+            if len(src):
+                np.add.at(sums, dst, current[src] / out_degree[src])
+            return base + DAMPING * sums
+
+        return synchronous_fixpoint(
+            view,
+            values,
+            combine,
+            algorithm=self.name,
+            epsilon=PR_EPSILON,
+            max_iterations=200,
+            in_edges=in_edges,
+        )

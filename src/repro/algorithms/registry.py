@@ -1,0 +1,77 @@
+"""Algorithm registry and the paper's ``performAlg()`` entry point.
+
+SAGA-Bench's API (Section III-D) exposes a single dispatch function to
+run any registered algorithm under either compute model; new algorithms
+are added by registering an :class:`~repro.algorithms.base.Algorithm`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.algorithms.base import Algorithm
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.mc import MaxComputation
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import SSWP
+from repro.compute.state import AlgorithmState
+from repro.compute.stats import ComputeRun
+from repro.errors import SimulationError
+
+#: The six algorithms of Table I, by paper name.
+ALGORITHMS: Dict[str, Algorithm] = {
+    algorithm.name: algorithm
+    for algorithm in (
+        BFS(),
+        ConnectedComponents(),
+        MaxComputation(),
+        PageRank(),
+        SSSP(),
+        SSWP(),
+    )
+}
+
+#: The two compute models of Section III-B.
+COMPUTE_MODELS = ("FS", "INC")
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Look up an algorithm by its paper name (case-insensitive)."""
+    algorithm = ALGORITHMS.get(name.upper())
+    if algorithm is None:
+        raise SimulationError(
+            f"unknown algorithm {name!r}; expected one of {sorted(ALGORITHMS)}"
+        )
+    return algorithm
+
+
+def register_algorithm(algorithm: Algorithm) -> None:
+    """Add a new algorithm to the registry (extensibility API)."""
+    ALGORITHMS[algorithm.name] = algorithm
+
+
+def perform_alg(
+    name: str,
+    model: str,
+    view,
+    state: Optional[AlgorithmState] = None,
+    affected: Optional[Iterable[int]] = None,
+    source: Optional[int] = None,
+) -> ComputeRun:
+    """Run algorithm ``name`` under compute model ``model``.
+
+    ``FS`` ignores ``state``/``affected`` and recomputes from scratch;
+    ``INC`` requires both (the persistent values and the vertices the
+    latest update phase touched).
+    """
+    algorithm = get_algorithm(name)
+    model = model.upper()
+    if model not in COMPUTE_MODELS:
+        raise SimulationError(f"unknown compute model {model!r}; expected FS or INC")
+    if model == "FS":
+        return algorithm.fs_run(view, source=source)
+    if state is None or affected is None:
+        raise SimulationError("INC requires persistent state and an affected set")
+    return algorithm.inc_run(view, state, affected, source=source)

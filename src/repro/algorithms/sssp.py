@@ -1,0 +1,167 @@
+"""Single-Source Shortest Paths.
+
+Table I vertex function:
+``v.path <- min over in-edges of (e.source.path + e.weight)``.
+
+FS implementation: delta-stepping (the GAP baseline the paper uses;
+footnote 7 notes it is highly optimized, which is why FS stays
+competitive with INC on SSSP).  Light edges (weight <= delta) are
+relaxed iteratively inside a bucket; heavy edges once per settled
+bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, in_pairs
+from repro.compute.stats import ComputeRun, IterationStats
+from repro.errors import SimulationError
+
+
+class SSSP(Algorithm):
+    """Shortest paths; value is the path length.
+
+    The FS baseline is delta-stepping (parallel, as in GAP).  A serial
+    binary-heap Dijkstra is available via ``SSSP(use_dijkstra=True)``
+    as the classic single-threaded comparator: it performs the fewest
+    edge relaxations but exposes no parallelism (each settled vertex is
+    its own "iteration"), so its simulated latency shows why parallel
+    streaming systems do not use it.
+    """
+
+    name = "SSSP"
+    needs_source = True
+    uses_weights = True
+    monotonic = "min"
+
+    def supports(self, source_value, weight, target_value):
+        return target_value == source_value + weight
+
+    def __init__(self, delta: Optional[float] = None, use_dijkstra: bool = False) -> None:
+        self.delta = delta
+        self.use_dijkstra = use_dijkstra
+
+    def init_value(self, ids: np.ndarray) -> np.ndarray:
+        return np.full(len(ids), np.inf)
+
+    def source_value(self) -> float:
+        return 0.0
+
+    def recalculate(self, v: int, view, values: np.ndarray) -> float:
+        best = np.inf
+        for u, w in in_pairs(view, v):
+            candidate = values[u] + w
+            if candidate < best:
+                best = candidate
+        return best
+
+    def _pick_delta(self, view) -> float:
+        if self.delta is not None:
+            return self.delta
+        # Mean edge weight is a standard default for delta-stepping.
+        total, count = 0.0, 0
+        for v in range(view.num_nodes):
+            for _, w in view.out_neigh(v):
+                total += w
+                count += 1
+        return max(total / count, 1e-9) if count else 1.0
+
+    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+        if source is None:
+            raise SimulationError("SSSP requires a source vertex")
+        if self.use_dijkstra:
+            return self._fs_dijkstra(view, source)
+        n = max(view.num_nodes, 1)
+        values = np.full(n, np.inf)
+        run = ComputeRun(algorithm=self.name, model="FS", values=values, source=source)
+        run.linear_scans = 1
+        if source >= view.num_nodes:
+            return run
+        values[source] = 0.0
+        delta = self._pick_delta(view)
+
+        buckets: Dict[int, Set[int]] = {0: {source}}
+        while buckets:
+            i = min(buckets)
+            bucket = buckets.pop(i)
+            settled: list = []
+            # Light-edge phase: iterate within the bucket.
+            while True:
+                frontier = sorted(
+                    v for v in bucket if int(values[v] // delta) == i
+                )
+                bucket = set()
+                if not frontier:
+                    break
+                settled.extend(frontier)
+                pushes = 0
+                for v in frontier:
+                    base = values[v]
+                    for w, wt in view.out_neigh(v):
+                        if wt > delta:
+                            continue
+                        candidate = base + wt
+                        if candidate < values[w]:
+                            values[w] = candidate
+                            pushes += 1
+                            j = int(candidate // delta)
+                            if j == i:
+                                bucket.add(w)
+                            else:
+                                buckets.setdefault(j, set()).add(w)
+                run.iterations.append(
+                    IterationStats.make(push=frontier, pushes=pushes, cas_ops=pushes)
+                )
+            if not settled:
+                continue
+            # Heavy-edge phase: one relaxation pass over the bucket.
+            pushes = 0
+            for v in settled:
+                base = values[v]
+                for w, wt in view.out_neigh(v):
+                    if wt <= delta:
+                        continue
+                    candidate = base + wt
+                    if candidate < values[w]:
+                        values[w] = candidate
+                        pushes += 1
+                        buckets.setdefault(int(candidate // delta), set()).add(w)
+            run.iterations.append(
+                IterationStats.make(push=settled, pushes=pushes, cas_ops=pushes)
+            )
+        return run
+
+    def _fs_dijkstra(self, view, source: int) -> ComputeRun:
+        """Serial binary-heap Dijkstra (the textbook comparator)."""
+        import heapq
+
+        n = max(view.num_nodes, 1)
+        values = np.full(n, np.inf)
+        run = ComputeRun(algorithm=self.name, model="FS", values=values, source=source)
+        run.linear_scans = 1
+        if source >= view.num_nodes:
+            return run
+        values[source] = 0.0
+        heap = [(0.0, source)]
+        settled = np.zeros(n, dtype=bool)
+        while heap:
+            distance, v = heapq.heappop(heap)
+            if settled[v]:
+                continue
+            settled[v] = True
+            pushes = 0
+            for w, weight in view.out_neigh(v):
+                candidate = distance + weight
+                if candidate < values[w]:
+                    values[w] = candidate
+                    heapq.heappush(heap, (candidate, w))
+                    pushes += 1
+            # One settled vertex per round: Dijkstra is inherently
+            # serial, which the pricer renders as a serial makespan.
+            run.iterations.append(
+                IterationStats.make(push=[v], pushes=pushes, cas_ops=pushes)
+            )
+        return run

@@ -1,0 +1,63 @@
+"""Single-Source Widest Paths.
+
+Table I vertex function:
+``v.path <- max over in-edges of min(e.source.path, e.weight)``.
+
+The *width* of a path is its narrowest edge; each vertex converges to
+the widest width over all paths from the source.  Unreached vertices
+have width 0; the source itself has infinite width.
+
+FS implementation: frontier-based widest-path relaxation (not in GAP;
+implemented from scratch, as the paper did).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm, frontier_relaxation, in_pairs
+from repro.compute.stats import ComputeRun
+from repro.errors import SimulationError
+
+
+class SSWP(Algorithm):
+    """Widest ("maximum bottleneck") paths from a source."""
+
+    name = "SSWP"
+    needs_source = True
+    uses_weights = True
+    monotonic = "max"
+
+    def supports(self, source_value, weight, target_value):
+        return target_value == min(source_value, weight)
+
+    def init_value(self, ids: np.ndarray) -> np.ndarray:
+        return np.zeros(len(ids))
+
+    def source_value(self) -> float:
+        return np.inf
+
+    def recalculate(self, v: int, view, values: np.ndarray) -> float:
+        best = 0.0
+        for u, w in in_pairs(view, v):
+            width = min(values[u], w)
+            if width > best:
+                best = width
+        return best
+
+    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+        if source is None:
+            raise SimulationError("SSWP requires a source vertex")
+        values = np.zeros(max(view.num_nodes, 1))
+        if source < view.num_nodes:
+            values[source] = np.inf
+        return frontier_relaxation(
+            view,
+            values,
+            source,
+            relax=lambda base, wt: min(base, wt),
+            better=lambda candidate, current: candidate > current,
+            algorithm=self.name,
+        )

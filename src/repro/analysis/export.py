@@ -1,0 +1,92 @@
+"""Machine-readable export of characterization results.
+
+Writes the profiling sweeps to CSV so results can be diffed across
+runs, plotted externally, or compared against the paper's numbers
+programmatically.  One row per measured quantity; no aggregation is
+baked in beyond the P1/P2/P3 staging the paper uses.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.hardware_profile import HardwareProfile
+from repro.analysis.software_profile import STAGES, SoftwareProfile
+
+
+def export_software_profile(
+    profile: SoftwareProfile, path: Union[str, Path]
+) -> Path:
+    """Write per-stage batch/update/compute latencies to CSV.
+
+    Columns: dataset, algorithm, model, structure, stage, series,
+    mean_seconds, ci_seconds, samples.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "dataset", "algorithm", "model", "structure", "stage",
+                "series", "mean_seconds", "ci_seconds", "samples",
+            ]
+        )
+        for dataset, result in profile.results.items():
+            for structure in result.structures:
+                stats = profile._stats(dataset, "update", structure)
+                for stage, stat in zip(STAGES, stats):
+                    writer.writerow(
+                        [dataset, "", "", structure, stage, "update",
+                         f"{stat.mean:.9e}", f"{stat.ci:.9e}", stat.count]
+                    )
+            for algorithm in result.algorithms:
+                for model in result.models:
+                    for structure in result.structures:
+                        for series in ("compute", "batch"):
+                            stats = profile._stats(
+                                dataset, series, algorithm, model, structure
+                            )
+                            for stage, stat in zip(STAGES, stats):
+                                writer.writerow(
+                                    [dataset, algorithm, model, structure,
+                                     stage, series, f"{stat.mean:.9e}",
+                                     f"{stat.ci:.9e}", stat.count]
+                                )
+    return path
+
+
+def export_hardware_profile(
+    profile: HardwareProfile, path: Union[str, Path]
+) -> Path:
+    """Write the Section VI counters and scaling curves to CSV.
+
+    Columns: group, phase, kind, key, stage, value -- where kind is
+    either ``scaling`` (key = core count, value = speedup) or a counter
+    name (key empty, one row per stage).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    counter_names = (
+        "l2_hit_ratio", "llc_hit_ratio", "l2_mpki", "llc_mpki",
+        "memory_bandwidth", "qpi_utilization",
+    )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["group", "phase", "kind", "key", "stage", "value"])
+        for group_name, group in profile.groups.items():
+            for phase in ("update", "compute"):
+                for cores, speedup in group.scaling_performance(phase).items():
+                    writer.writerow(
+                        [group_name, phase, "scaling", cores, "", f"{speedup:.6f}"]
+                    )
+                for counter in counter_names:
+                    for stage in range(3):
+                        value = group.stage_counter(phase, stage, counter)
+                        writer.writerow(
+                            [group_name, phase, counter, "", STAGES[stage],
+                             f"{value:.9e}"]
+                        )
+    return path

@@ -1,0 +1,361 @@
+"""Architecture-level profiling: Figs. 9-10 (Section VI).
+
+The paper characterizes the update and compute phases with Intel PCM
+on the best structure per dataset group:
+
+- **STail** -- short-tailed LJ, Orkut, RMAT on AS;
+- **HTail** -- heavy-tailed Wiki, Talk on DAH;
+
+all with the incremental compute model, averaged over the six
+algorithms.  This module reproduces the three experiments on the
+simulated machine:
+
+- **Fig. 9(a)** core scaling: each batch's update task list is
+  re-scheduled at every physical core count (threads = 2 x cores,
+  cores split across both sockets); compute runs are re-priced
+  likewise.
+- **Fig. 9(b,c)** memory and QPI bandwidth: the phases' memory traces
+  replay through a persistent cache hierarchy; LLC miss traffic over
+  the phase's simulated time gives bandwidth, and the remote-socket
+  share gives QPI utilization.
+- **Fig. 10** caches: L2/LLC hit ratios and MPKI per phase, from the
+  same replays.  The hierarchy persists from update to compute within
+  a batch, reproducing the cross-phase reuse the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import get_algorithm
+from repro.analysis.stats import stage_slices
+from repro.compute.pricing import price_compute_run
+from repro.datasets.catalog import DEFAULT_BATCH_SIZE, HEAVY_TAILED, SHORT_TAILED, load_dataset
+from repro.errors import SimulationError
+from repro.graph import ReferenceGraph, make_structure
+from repro.graph.base import ExecutionContext
+from repro.graph.properties import VertexProperties
+from repro.sim.cache import CacheHierarchy
+from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.sim.counters import PhaseCounters, derive_counters
+from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
+from repro.sim.scheduler import ScheduleResult
+from repro.sim.trace import TraceRecorder
+from repro.streaming.batching import make_batches
+
+#: Core counts swept in Fig. 9(a).
+DEFAULT_CORE_COUNTS = (4, 8, 12, 16, 20, 24, 28)
+
+#: Cap on replayed accesses per phase per batch (systematic sampling).
+DEFAULT_TRACE_CAP = 60_000
+
+_PHASES = ("update", "compute")
+
+
+@dataclass
+class PhaseSample:
+    """One batch's counters for one phase."""
+
+    batch_index: int
+    counters: PhaseCounters
+
+
+@dataclass
+class GroupProfile:
+    """Aggregated architecture profile of one dataset group."""
+
+    group: str
+    structure: str
+    datasets: Tuple[str, ...]
+    #: {phase: {cores: total makespan cycles summed over batches}}
+    scaling_cycles: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    #: {phase: [PhaseSample, ...]} in batch order per dataset.
+    samples: Dict[str, List[PhaseSample]] = field(
+        default_factory=lambda: {p: [] for p in _PHASES}
+    )
+    batches_per_dataset: Dict[str, int] = field(default_factory=dict)
+
+    def scaling_performance(self, phase: str) -> Dict[int, float]:
+        """Fig. 9(a): speedup of each core count over the smallest."""
+        cycles = self.scaling_cycles[phase]
+        base_cores = min(cycles)
+        base = cycles[base_cores]
+        return {cores: base / cycles[cores] for cores in sorted(cycles)}
+
+    def stage_counter(self, phase: str, stage: int, attribute: str, stages: int = 3) -> float:
+        """Mean of one counter over a stage's batches, pooled per dataset."""
+        values = []
+        offset = 0
+        samples = self.samples[phase]
+        for dataset, count in self.batches_per_dataset.items():
+            slices = stage_slices(count, stages)
+            chunk = samples[offset: offset + count]
+            for sample in chunk[slices[stage]]:
+                values.append(getattr(sample.counters, attribute))
+            offset += count
+        if not values:
+            raise SimulationError(f"no samples for {phase} stage {stage}")
+        return float(np.mean(values))
+
+
+@dataclass
+class HardwareProfile:
+    """Both groups' profiles (the paper's STail and HTail averages)."""
+
+    groups: Dict[str, GroupProfile]
+
+    def __getitem__(self, group: str) -> GroupProfile:
+        if group not in self.groups:
+            raise SimulationError(f"unknown group {group!r}")
+        return self.groups[group]
+
+
+def _synthetic_schedule(latency_cycles: float, work_cycles: float, threads: int) -> ScheduleResult:
+    """Wrap pricer output in the shape ``derive_counters`` consumes."""
+    return ScheduleResult(
+        makespan_cycles=latency_cycles,
+        total_work_cycles=work_cycles,
+        threads=threads,
+        task_count=0,
+        thread_busy_cycles=np.zeros(threads),
+        task_thread=np.empty(0, dtype=np.int32),
+    )
+
+
+class HardwareProfiler:
+    """Streams one dataset on one structure with full instrumentation."""
+
+    def __init__(
+        self,
+        machine: MachineConfig = SKYLAKE_GOLD_6142,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+        algorithms: Sequence[str] = ("BFS", "CC", "MC", "PR", "SSSP", "SSWP"),
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        trace_cap: int = DEFAULT_TRACE_CAP,
+        seed: int = 0,
+        prefetch: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.cost = cost_model
+        self.core_counts = tuple(core_counts)
+        self.algorithms = tuple(algorithms)
+        self.batch_size = batch_size
+        self.trace_cap = trace_cap
+        self.seed = seed
+        self.prefetch = prefetch
+
+    def profile_group(
+        self,
+        group: str,
+        datasets: Sequence[str],
+        structure_name: str,
+        size_factor: float = 1.0,
+    ) -> GroupProfile:
+        """Profile every dataset of one group on its best structure."""
+        profile = GroupProfile(
+            group=group,
+            structure=structure_name,
+            datasets=tuple(datasets),
+            scaling_cycles={p: {c: 0.0 for c in self.core_counts} for p in _PHASES},
+        )
+        for name in datasets:
+            self._profile_dataset(name, structure_name, profile, size_factor)
+        return profile
+
+    # ------------------------------------------------------------------
+
+    def _profile_dataset(
+        self,
+        dataset_name: str,
+        structure_name: str,
+        profile: GroupProfile,
+        size_factor: float,
+    ) -> None:
+        machine = self.machine
+        dataset = load_dataset(dataset_name, seed=self.seed, size_factor=size_factor)
+        batches = make_batches(dataset.edges, self.batch_size, shuffle_seed=self.seed)
+        structure = make_structure(
+            structure_name,
+            dataset.max_nodes,
+            directed=dataset.directed,
+            cost_model=self.cost,
+        )
+        reference = ReferenceGraph(dataset.max_nodes, directed=dataset.directed)
+        hierarchy = CacheHierarchy(machine, prefetch=self.prefetch)
+        properties = VertexProperties(dataset.max_nodes, structure.space)
+        for algorithm in self.algorithms:
+            properties.add(algorithm)
+        visited_region = structure.space.alloc(
+            max(dataset.max_nodes // 8, 64), "inc.visited"
+        )
+        states = {
+            name: get_algorithm(name).make_state(dataset.max_nodes)
+            for name in self.algorithms
+        }
+        deg_in = np.zeros(dataset.max_nodes, dtype=np.int64)
+        deg_out = np.zeros(dataset.max_nodes, dtype=np.int64)
+        source = int(np.bincount(dataset.edges.src).argmax())
+        threads = machine.hardware_threads
+        full_ctx = ExecutionContext(machine=machine, cost_model=self.cost)
+        scaling_ctxs = {
+            cores: ExecutionContext(
+                machine=machine.with_cores(cores),
+                threads=2 * cores,
+                cost_model=self.cost,
+            )
+            for cores in self.core_counts
+        }
+
+        profile.batches_per_dataset[dataset_name] = len(batches)
+        for batch_index, batch in enumerate(batches):
+            # ---- update phase --------------------------------------
+            recorder = TraceRecorder()
+            ctx = ExecutionContext(
+                machine=machine, cost_model=self.cost, recorder=recorder, keep_tasks=True
+            )
+            update = structure.update(batch, ctx)
+            tasks = update.extra["tasks"]
+            for cores, sctx in scaling_ctxs.items():
+                scaled = structure.schedule_tasks(tasks, sctx)
+                profile.scaling_cycles["update"][cores] += scaled.makespan_cycles
+            full_trace = update.trace
+            sampled = full_trace.sample(self.trace_cap, seed=batch_index)
+            scale = max(1.0, len(full_trace) / max(len(sampled), 1))
+            stats = hierarchy.replay(sampled, update.schedule.task_thread)
+            profile.samples["update"].append(
+                PhaseSample(
+                    batch_index=batch_index,
+                    counters=derive_counters(update.schedule, stats, machine, scale),
+                )
+            )
+
+            # ---- reference bookkeeping -----------------------------
+            for u, v, w in reference.update_collect(batch):
+                deg_out[u] += 1
+                deg_in[v] += 1
+                if not dataset.directed and u != v:
+                    deg_out[v] += 1
+                    deg_in[u] += 1
+            n = reference.num_nodes
+
+            # ---- compute phase (INC, averaged over algorithms) -----
+            compute_counter_list = []
+            for alg_name in self.algorithms:
+                algorithm = get_algorithm(alg_name)
+                affected = algorithm.affected_from_batch(batch, reference)
+                run = algorithm.inc_run(
+                    reference, states[alg_name], affected, source=source
+                )
+                for cores, sctx in scaling_ctxs.items():
+                    pricing = price_compute_run(
+                        run, structure_name, deg_in[:n], deg_out[:n], sctx,
+                        neighbor_degree_query=algorithm.neighbor_degree_query,
+                    )
+                    profile.scaling_cycles["compute"][cores] += pricing.latency_cycles
+                pricing = price_compute_run(
+                    run, structure_name, deg_in[:n], deg_out[:n], full_ctx,
+                    neighbor_degree_query=algorithm.neighbor_degree_query,
+                )
+                trace, task_thread = self._compute_trace(
+                    run, structure, reference, properties, alg_name,
+                    visited_region, threads,
+                )
+                sampled = trace.sample(self.trace_cap, seed=batch_index)
+                scale = max(1.0, len(trace) / max(len(sampled), 1))
+                stats = hierarchy.replay(sampled, task_thread)
+                schedule = _synthetic_schedule(
+                    pricing.latency_cycles, pricing.total_work_cycles, threads
+                )
+                compute_counter_list.append(
+                    derive_counters(schedule, stats, machine, scale)
+                )
+            profile.samples["compute"].append(
+                PhaseSample(
+                    batch_index=batch_index,
+                    counters=_average_counters(compute_counter_list),
+                )
+            )
+
+    def _compute_trace(
+        self,
+        run,
+        structure,
+        reference: ReferenceGraph,
+        properties: VertexProperties,
+        algorithm: str,
+        visited_region,
+        threads: int,
+    ):
+        """Emit the compute phase's memory accesses as a trace.
+
+        Every evaluated vertex reads its in-neighbors' values from the
+        structure plus their property entries and writes its own; every
+        triggered vertex scans its out-neighbors and touches the
+        visited bitvector.  One task per vertex, round-robin threads.
+        """
+        recorder = TraceRecorder()
+        task = 0
+        for iteration in run.iterations:
+            for v in iteration.pull_vertices:
+                v = int(v)
+                recorder.begin_task(task)
+                task += 1
+                structure.trace_in_traversal(v, recorder)
+                for u, _ in reference.in_neigh(v):
+                    recorder.access(properties.address_of(algorithm, int(u)))
+                recorder.access(properties.address_of(algorithm, v), write=True)
+            for v in iteration.push_vertices:
+                v = int(v)
+                recorder.begin_task(task)
+                task += 1
+                structure.trace_out_traversal(v, recorder)
+                for w, _ in reference.out_neigh(v):
+                    recorder.access(visited_region.element(int(w) // 8, 1), write=True)
+        task_thread = np.arange(max(task, 1), dtype=np.int32) % threads
+        return recorder.finalize(), task_thread
+
+
+def _average_counters(counters: List[PhaseCounters]) -> PhaseCounters:
+    """Field-wise mean of a list of :class:`PhaseCounters`."""
+    if not counters:
+        raise SimulationError("cannot average zero counters")
+    fields = PhaseCounters.__dataclass_fields__
+    means = {
+        name: float(np.mean([getattr(c, name) for c in counters])) for name in fields
+    }
+    return PhaseCounters(**means)
+
+
+def run_hardware_profile(
+    machine: MachineConfig = SKYLAKE_GOLD_6142,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    algorithms: Sequence[str] = ("BFS", "CC", "MC", "PR", "SSSP", "SSWP"),
+    short_tailed: Sequence[str] = SHORT_TAILED,
+    heavy_tailed: Sequence[str] = HEAVY_TAILED,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    size_factor: float = 1.0,
+    seed: int = 0,
+    trace_cap: int = DEFAULT_TRACE_CAP,
+    prefetch: bool = False,
+) -> HardwareProfile:
+    """Run the full Section VI characterization on both groups."""
+    profiler = HardwareProfiler(
+        machine=machine,
+        cost_model=cost_model,
+        core_counts=core_counts,
+        algorithms=algorithms,
+        batch_size=batch_size,
+        trace_cap=trace_cap,
+        seed=seed,
+        prefetch=prefetch,
+    )
+    groups = {
+        "STail": profiler.profile_group("STail", short_tailed, "AS", size_factor),
+        "HTail": profiler.profile_group("HTail", heavy_tailed, "DAH", size_factor),
+    }
+    return HardwareProfile(groups=groups)

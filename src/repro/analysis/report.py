@@ -1,0 +1,222 @@
+"""Plain-text renderers for the paper's tables and figures.
+
+Each ``render_*`` function returns a string matching the corresponding
+table/figure of the paper; the benchmark harnesses print these so a
+run regenerates the paper's artifacts as text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.algorithms.registry import ALGORITHMS
+from repro.analysis.degrees import DegreeRow
+from repro.analysis.hardware_profile import HardwareProfile
+from repro.analysis.software_profile import STAGES, SoftwareProfile
+from repro.datasets.catalog import DATASETS, DEFAULT_BATCH_SIZE
+
+#: Table I's vertex functions, as printed in the paper.
+VERTEX_FUNCTIONS = {
+    "BFS": "v.depth <- min over InEdges(v) of (e.source.depth + 1)",
+    "CC": "v.value <- min(v.value, min over InEdges(v) of e.source.value)",
+    "MC": "v.value <- max(v.value, max over InEdges(v) of e.source.value)",
+    "PR": "v.rank <- 0.15/|V| + 0.85 * sum over InEdges(v) of "
+          "(e.source.rank / e.source.out_degree)",
+    "SSSP": "v.path <- min over InEdges(v) of (e.source.path + e.weight)",
+    "SSWP": "v.path <- max over InEdges(v) of min(e.source.path, e.weight)",
+}
+
+
+def _rule(width: int = 78) -> str:
+    return "-" * width
+
+
+def render_table1() -> str:
+    """Table I: vertex functions for the six algorithms."""
+    lines = ["Table I: Vertex functions for algorithms", _rule()]
+    for name in ALGORITHMS:
+        lines.append(f"  {name:5s} {VERTEX_FUNCTIONS[name]}")
+    return "\n".join(lines)
+
+
+def render_table2(batch_size: int = DEFAULT_BATCH_SIZE) -> str:
+    """Table II: evaluated datasets (stand-in vs paper scale)."""
+    lines = [
+        "Table II: Evaluated datasets "
+        f"(stand-in scale, batch size {batch_size}; paper in parentheses)",
+        _rule(),
+        f"  {'dataset':8s} {'vertices':>12s} {'edges':>12s} {'batchCount':>10s}",
+    ]
+    for name, spec in DATASETS.items():
+        batches = (spec.num_edges + batch_size - 1) // batch_size
+        paper = spec.paper
+        lines.append(
+            f"  {name:8s} {spec.num_nodes:>12,d} {spec.num_edges:>12,d} {batches:>10d}"
+            f"    ({paper.vertices:,} / {paper.edges:,} / {paper.batch_count})"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(profile: SoftwareProfile) -> str:
+    """Table III: best combination and absolute latency per stage."""
+    lines = [
+        "Table III: Best combination of data structure and compute model",
+        "(cell: best-label, batch processing latency in simulated seconds)",
+        _rule(),
+        f"  {'alg':5s} {'dataset':7s} "
+        + "".join(f"{stage:>26s}" for stage in STAGES),
+    ]
+    for (algorithm, dataset), cells in profile.table3().items():
+        row = f"  {algorithm:5s} {dataset:7s} "
+        for cell in cells:
+            row += f"{cell.label:>18s} {cell.latency_seconds:7.5f}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_table4(rows: Dict[str, DegreeRow]) -> str:
+    """Table IV: max in/out degree, full stream and one batch."""
+    lines = [
+        "Table IV: Max in/out degree (stand-in; paper in parentheses)",
+        _rule(),
+        f"  {'dataset':8s} {'full in':>10s} {'full out':>10s} "
+        f"{'batch in':>10s} {'batch out':>10s}  tail",
+    ]
+    for name, row in rows.items():
+        tail = "heavy" if row.heavy_tailed else "short"
+        lines.append(
+            f"  {name:8s} {row.max_in:>10d} {row.max_out:>10d} "
+            f"{row.batch_max_in:>10d} {row.batch_max_out:>10d}  {tail}"
+            f"   (paper: {row.paper_max_in}/{row.paper_max_out} full, "
+            f"{row.paper_batch_max_in}/{row.paper_batch_max_out} batch)"
+        )
+    return "\n".join(lines)
+
+
+def render_fig6(
+    profile: SoftwareProfile,
+    algorithms: Optional[Sequence[str]] = None,
+    stage: int = 2,
+) -> str:
+    """Fig. 6: per-structure latency normalized to AS at P3."""
+    lines = [
+        f"Fig. 6: latency of AC/DAH/Stinger normalized to AS at {STAGES[stage]} "
+        "(best compute model)",
+        _rule(),
+        f"  {'alg':5s} {'dataset':7s} {'series':8s} "
+        f"{'AC/AS':>8s} {'DAH/AS':>8s} {'Stinger/AS':>11s}",
+    ]
+    for dataset, result in profile.results.items():
+        for algorithm in algorithms or result.algorithms:
+            ratios = profile.fig6(algorithm, dataset, stage)
+            for series in ("batch", "update", "compute"):
+                r = ratios[series]
+                lines.append(
+                    f"  {algorithm:5s} {dataset:7s} {series:8s} "
+                    f"{r.get('AC', float('nan')):>8.2f} "
+                    f"{r.get('DAH', float('nan')):>8.2f} "
+                    f"{r.get('Stinger', float('nan')):>11.2f}"
+                )
+    return "\n".join(lines)
+
+
+def render_fig7(profile: SoftwareProfile) -> str:
+    """Fig. 7: FS compute latency normalized to INC, per stage."""
+    lines = [
+        "Fig. 7: FS compute latency normalized to INC (best data structure)",
+        _rule(),
+        f"  {'alg':5s} {'dataset':7s} "
+        + "".join(f"{stage:>8s}" for stage in STAGES),
+    ]
+    for dataset, result in profile.results.items():
+        for algorithm in result.algorithms:
+            ratios = profile.fig7(algorithm, dataset)
+            lines.append(
+                f"  {algorithm:5s} {dataset:7s} "
+                + "".join(f"{ratio:>8.2f}" for ratio in ratios)
+            )
+    return "\n".join(lines)
+
+
+def render_fig8(profile: SoftwareProfile) -> str:
+    """Fig. 8: update share of batch processing latency, per stage."""
+    lines = [
+        "Fig. 8: update phase share of batch latency (best combination), %",
+        _rule(),
+        f"  {'alg':5s} {'dataset':7s} "
+        + "".join(f"{stage:>8s}" for stage in STAGES),
+    ]
+    for dataset, result in profile.results.items():
+        for algorithm in result.algorithms:
+            shares = profile.fig8(algorithm, dataset)
+            lines.append(
+                f"  {algorithm:5s} {dataset:7s} "
+                + "".join(f"{100 * share:>7.1f}%" for share in shares)
+            )
+    return "\n".join(lines)
+
+
+def render_fig9(hw: HardwareProfile) -> str:
+    """Fig. 9: core scaling, memory bandwidth, QPI utilization."""
+    lines = ["Fig. 9(a): performance scalability to physical core count", _rule()]
+    for group_name, group in hw.groups.items():
+        for phase in ("update", "compute"):
+            perf = group.scaling_performance(phase)
+            series = "  ".join(f"{cores}c:{speedup:4.2f}" for cores, speedup in perf.items())
+            lines.append(f"  {group_name:6s} {phase:8s} {series}")
+    lines += ["", "Fig. 9(b): memory bandwidth utilization (GB/s)", _rule()]
+    for group_name, group in hw.groups.items():
+        for phase in ("update", "compute"):
+            values = [
+                group.stage_counter(phase, stage, "memory_bandwidth") / 1e9
+                for stage in range(3)
+            ]
+            lines.append(
+                f"  {group_name:6s} {phase:8s} "
+                + "  ".join(f"{s}:{v:6.2f}" for s, v in zip(STAGES, values))
+            )
+    lines += ["", "Fig. 9(c): QPI link utilization (%)", _rule()]
+    for group_name, group in hw.groups.items():
+        for phase in ("update", "compute"):
+            values = [
+                100 * group.stage_counter(phase, stage, "qpi_utilization")
+                for stage in range(3)
+            ]
+            lines.append(
+                f"  {group_name:6s} {phase:8s} "
+                + "  ".join(f"{s}:{v:5.1f}%" for s, v in zip(STAGES, values))
+            )
+    return "\n".join(lines)
+
+
+def render_fig10(hw: HardwareProfile) -> str:
+    """Fig. 10: L2/LLC hit ratios and MPKI per phase."""
+    lines = ["Fig. 10(a): private L2 and shared LLC hit ratios (%)", _rule()]
+    for group_name, group in hw.groups.items():
+        for phase in ("update", "compute"):
+            l2 = [
+                100 * group.stage_counter(phase, stage, "l2_hit_ratio")
+                for stage in range(3)
+            ]
+            llc = [
+                100 * group.stage_counter(phase, stage, "llc_hit_ratio")
+                for stage in range(3)
+            ]
+            lines.append(
+                f"  {group_name:6s} {phase:8s} "
+                + "  ".join(f"L2@{s}:{v:5.1f}%" for s, v in zip(STAGES, l2))
+                + "   "
+                + "  ".join(f"LLC@{s}:{v:5.1f}%" for s, v in zip(STAGES, llc))
+            )
+    lines += ["", "Fig. 10(b,c): L2 and LLC MPKI per phase", _rule()]
+    for group_name, group in hw.groups.items():
+        for phase in ("update", "compute"):
+            l2 = [group.stage_counter(phase, stage, "l2_mpki") for stage in range(3)]
+            llc = [group.stage_counter(phase, stage, "llc_mpki") for stage in range(3)]
+            lines.append(
+                f"  {group_name:6s} {phase:8s} "
+                + "  ".join(f"L2@{s}:{v:5.1f}" for s, v in zip(STAGES, l2))
+                + "   "
+                + "  ".join(f"LLC@{s}:{v:5.1f}" for s, v in zip(STAGES, llc))
+            )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Batch-size sensitivity study.
+
+The paper fixes the batch size at 500K edges (Section IV-B) and notes
+other systems use similar values.  This harness sweeps the batch size
+and reports each structure's total update latency for the stream --
+exposing the trade-off the fixed choice hides:
+
+- chunked structures (AC, DAH) amortize their per-batch routing scan
+  over bigger batches;
+- AS's lock convoy on heavy-tailed streams *worsens* with batch size
+  (more simultaneous updates to the hot vertex per batch);
+- tiny batches drown everyone in per-batch dispatch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.datasets.catalog import load_dataset
+from repro.graph import ExecutionContext, make_structure
+from repro.streaming.batching import make_batches
+
+DEFAULT_BATCH_SIZES = (500, 1000, 2500, 5000, 10000)
+STRUCTURE_NAMES = ("AS", "AC", "Stinger", "DAH")
+
+
+@dataclass
+class SensitivityResult:
+    """Total stream update latency per (structure, batch size)."""
+
+    dataset: str
+    batch_sizes: Sequence[int]
+    #: {structure: {batch_size: total update seconds}}
+    totals: Dict[str, Dict[int, float]]
+
+    def best_batch_size(self, structure: str) -> int:
+        series = self.totals[structure]
+        return min(series, key=series.get)
+
+
+def run_batch_size_sensitivity(
+    dataset_name: str,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    structures: Sequence[str] = STRUCTURE_NAMES,
+    seed: int = 0,
+    size_factor: float = 1.0,
+) -> SensitivityResult:
+    """Sweep batch sizes; returns total update latency per structure."""
+    dataset = load_dataset(dataset_name, seed=seed, size_factor=size_factor)
+    ctx = ExecutionContext()
+    totals: Dict[str, Dict[int, float]] = {name: {} for name in structures}
+    for batch_size in batch_sizes:
+        batches = make_batches(dataset.edges, batch_size, shuffle_seed=seed)
+        for name in structures:
+            structure = make_structure(
+                name, dataset.max_nodes, directed=dataset.directed
+            )
+            total = 0.0
+            for batch in batches:
+                total += structure.update(batch, ctx).latency_seconds(ctx.machine)
+            totals[name][batch_size] = total
+    return SensitivityResult(
+        dataset=dataset_name, batch_sizes=tuple(batch_sizes), totals=totals
+    )
+
+
+def render_sensitivity(results: Sequence[SensitivityResult]) -> str:
+    """Plain-text table: total update latency by batch size."""
+    lines = ["Batch-size sensitivity: total stream update latency (ms)", "-" * 78]
+    for result in results:
+        lines.append(f"  {result.dataset}:")
+        header = f"    {'batch':>9s} " + "".join(
+            f"{name:>10s}" for name in result.totals
+        )
+        lines.append(header)
+        for batch_size in result.batch_sizes:
+            row = f"    {batch_size:>9d} " + "".join(
+                f"{result.totals[name][batch_size] * 1e3:>10.3f}"
+                for name in result.totals
+            )
+            lines.append(row)
+        best = {name: result.best_batch_size(name) for name in result.totals}
+        lines.append(f"    best batch size: {best}")
+    return "\n".join(lines)

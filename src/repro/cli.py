@@ -1,0 +1,203 @@
+"""Command-line interface: regenerate the paper's artifacts.
+
+Usage::
+
+    python -m repro table1|table2|table3|table4|fig6|fig7|fig8|fig9|fig10
+    python -m repro all --quick
+    python -m repro stream --dataset Talk --structure DAH --algorithm PR
+
+``--quick`` runs the sweeps at reduced scale (minutes instead of tens
+of minutes); ``--output DIR`` also writes each artifact to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.analysis import degree_table, run_hardware_profile, run_software_profile
+from repro.analysis import report
+from repro.datasets import dataset_names, load_dataset
+from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
+from repro.streaming import StreamConfig, StreamDriver
+
+SOFTWARE_ARTIFACTS = ("table3", "fig6", "fig7", "fig8")
+HARDWARE_ARTIFACTS = ("fig9", "fig10")
+ALL_ARTIFACTS = ("table1", "table2", "table4") + SOFTWARE_ARTIFACTS + HARDWARE_ARTIFACTS
+
+
+class _Session:
+    """Lazily computes and caches the expensive sweeps."""
+
+    def __init__(self, quick: bool) -> None:
+        self.quick = quick
+        self._software = None
+        self._hardware = None
+
+    @property
+    def software(self):
+        if self._software is None:
+            if self.quick:
+                self._software = run_software_profile(
+                    datasets=["LJ", "Talk"],
+                    config=StreamConfig(batch_size=1000),
+                    size_factor=0.25,
+                )
+            else:
+                self._software = run_software_profile()
+        return self._software
+
+    @property
+    def hardware(self):
+        if self._hardware is None:
+            if self.quick:
+                self._hardware = run_hardware_profile(
+                    machine=SCALED_SKYLAKE_GOLD_6142,
+                    core_counts=(4, 8, 16),
+                    short_tailed=("LJ",),
+                    heavy_tailed=("Talk",),
+                    algorithms=("BFS", "CC", "PR"),
+                    size_factor=0.5,
+                    batch_size=1250,
+                    trace_cap=20_000,
+                )
+            else:
+                self._hardware = run_hardware_profile(
+                    machine=SCALED_SKYLAKE_GOLD_6142,
+                    trace_cap=40_000,
+                )
+        return self._hardware
+
+
+def _renderers(session: _Session) -> Dict[str, Callable[[], str]]:
+    return {
+        "table1": report.render_table1,
+        "table2": report.render_table2,
+        "table3": lambda: report.render_table3(session.software),
+        "table4": lambda: report.render_table4(degree_table()),
+        "fig6": lambda: report.render_fig6(session.software),
+        "fig7": lambda: report.render_fig7(session.software),
+        "fig8": lambda: report.render_fig8(session.software),
+        "fig9": lambda: report.render_fig9(session.hardware),
+        "fig10": lambda: report.render_fig10(session.hardware),
+    }
+
+
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    session = _Session(quick=args.quick)
+    renderers = _renderers(session)
+    names = ALL_ARTIFACTS if args.artifact == "all" else (args.artifact,)
+    output_dir: Optional[Path] = Path(args.output) if args.output else None
+    if output_dir is not None:
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.time()
+        text = renderers[name]()
+        print(text)
+        print(f"[{name}: {time.time() - started:.1f}s]\n")
+        if output_dir is not None:
+            (output_dir / f"{name}.txt").write_text(text + "\n")
+    if getattr(args, "csv", None):
+        from repro.analysis.export import (
+            export_hardware_profile,
+            export_software_profile,
+        )
+
+        csv_dir = Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+        if session._software is not None:
+            print(export_software_profile(session.software, csv_dir / "software.csv"))
+        if session._hardware is not None:
+            print(export_hardware_profile(session.hardware, csv_dir / "hardware.csv"))
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.analysis.conformance import conformance_report, render_conformance
+
+    session = _Session(quick=args.quick)
+    results = conformance_report(
+        software=session.software, hardware=session.hardware
+    )
+    text = render_conformance(results)
+    print(text)
+    if args.output:
+        output_dir = Path(args.output)
+        output_dir.mkdir(parents=True, exist_ok=True)
+        (output_dir / "conformance.txt").write_text(text + "\n")
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, size_factor=args.size_factor)
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        structures=(args.structure,),
+        algorithms=(args.algorithm,),
+        models=("FS", "INC"),
+        progress=print if args.verbose else None,
+    )
+    result = StreamDriver(config).run(dataset)
+    update = result.update_latency(args.structure)[0]
+    print(f"{args.dataset} on {args.structure}, {args.algorithm}: "
+          f"{result.batches_per_rep} batches")
+    print(f"{'batch':>5s} {'update(ms)':>11s} {'INC(ms)':>9s} {'FS(ms)':>9s}")
+    inc = result.compute_latency(args.algorithm, "INC", args.structure)[0]
+    fs = result.compute_latency(args.algorithm, "FS", args.structure)[0]
+    for index in range(result.batches_per_rep):
+        print(f"{index:>5d} {update[index] * 1e3:>11.3f} "
+              f"{inc[index] * 1e3:>9.3f} {fs[index] * 1e3:>9.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAGA-Bench reproduction: regenerate the paper's artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ALL_ARTIFACTS + ("all",):
+        artifact = sub.add_parser(name, help=f"regenerate {name}")
+        artifact.set_defaults(func=_cmd_artifacts, artifact=name)
+        artifact.add_argument("--quick", action="store_true",
+                              help="reduced-scale sweep (development)")
+        artifact.add_argument("--output", help="also write artifacts to DIR")
+        artifact.add_argument(
+            "--csv",
+            help="also export the computed sweeps as CSV files to DIR",
+        )
+
+    conformance = sub.add_parser(
+        "conformance",
+        help="check every paper claim against fresh sweeps (exit 1 on any FAIL)",
+    )
+    conformance.set_defaults(func=_cmd_conformance)
+    conformance.add_argument("--quick", action="store_true")
+    conformance.add_argument("--output", help="also write the report to DIR")
+
+    stream = sub.add_parser("stream", help="stream one dataset and print latencies")
+    stream.set_defaults(func=_cmd_stream)
+    stream.add_argument("--dataset", choices=dataset_names(), default="Talk")
+    stream.add_argument("--structure", choices=("AS", "AC", "Stinger", "DAH", "BA"),
+                        default="DAH")
+    stream.add_argument("--algorithm",
+                        choices=("BFS", "CC", "MC", "PR", "SSSP", "SSWP"),
+                        default="PR")
+    stream.add_argument("--batch-size", type=int, default=2500)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--size-factor", type=float, default=1.0)
+    stream.add_argument("--verbose", action="store_true")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

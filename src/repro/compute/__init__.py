@@ -1,0 +1,30 @@
+"""Compute models of SAGA-Bench (Section III-B).
+
+Two models run an algorithm over the freshly updated graph:
+
+- **FS (recomputation from scratch)** -- every batch resets all vertex
+  values and reruns a conventional static-graph algorithm (GAP-style).
+  Implemented per algorithm in :mod:`repro.algorithms`.
+- **INC (incremental computation)** -- Algorithm 1 of the paper:
+  *processing amortization* (start from the previous batch's values)
+  plus *selective triggering* (recompute only vertices affected,
+  directly or transitively, by the latest update).  The generic engine
+  lives in :mod:`repro.compute.incremental`.
+
+:mod:`repro.compute.pricing` converts the operation counts of a run
+into per-data-structure compute latencies on the simulated machine.
+"""
+
+from repro.compute.incremental import run_incremental
+from repro.compute.pricing import ComputePricing, price_compute_run
+from repro.compute.stats import ComputeRun, IterationStats
+from repro.compute.state import AlgorithmState
+
+__all__ = [
+    "AlgorithmState",
+    "ComputePricing",
+    "ComputeRun",
+    "IterationStats",
+    "price_compute_run",
+    "run_incremental",
+]

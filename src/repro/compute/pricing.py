@@ -1,0 +1,119 @@
+"""Pricing a compute run on a specific data structure.
+
+Vertex *values* are independent of the storage structure, but compute
+*latency* is not: each structure has its own traversal mechanism
+(contiguous scan, pointer-chased blocks, hashed retrieval; Section V-B
+of the paper).  Given the operation counts of one
+:class:`~repro.compute.stats.ComputeRun`, this module prices the run on
+any of the four structures: every evaluated vertex is a parallel-for
+task whose cost combines the structure's traversal cost with the
+algorithm's per-neighbor work, and the simulated latency is the sum of
+the per-iteration makespans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.compute.stats import ComputeRun
+from repro.errors import StructureError
+from repro.graph import STRUCTURES
+from repro.graph.base import ExecutionContext
+from repro.sim.cost_model import CostModel
+from repro.sim.scheduler import parallel_for_makespan
+
+#: Structures whose degree lookups go through hash-table meta-queries.
+_DAH_NAME = "DAH"
+
+
+def _degree_query_cost(structure: str, cost: CostModel) -> float:
+    if structure == _DAH_NAME:
+        return cost.degree_query + cost.hash_probe
+    return cost.probe_element
+
+
+@dataclass
+class ComputePricing:
+    """Simulated compute-phase latency of one run on one structure."""
+
+    structure: str
+    latency_cycles: float
+    total_work_cycles: float
+    iteration_count: int
+
+    def latency_seconds(self, machine) -> float:
+        return machine.cycles_to_seconds(self.latency_cycles)
+
+
+def price_compute_run(
+    run: ComputeRun,
+    structure: str,
+    deg_in: np.ndarray,
+    deg_out: np.ndarray,
+    ctx: ExecutionContext,
+    neighbor_degree_query: bool = False,
+) -> ComputePricing:
+    """Price ``run`` as if it had executed on ``structure``.
+
+    Parameters
+    ----------
+    deg_in, deg_out:
+        Per-vertex in/out-degree arrays of the graph *as of this
+        batch* (the traversal costs are degree-driven).
+    neighbor_degree_query:
+        True for PageRank, whose vertex function additionally queries
+        the out-degree of every in-neighbor (the normalization in
+        Table I) -- particularly expensive on DAH (Section V-B).
+    """
+    if structure not in STRUCTURES:
+        raise StructureError(f"unknown structure {structure!r}")
+    cost = ctx.cost_model
+    vector_cost = STRUCTURES[structure].vector_traversal_cost
+    dq = _degree_query_cost(structure, cost)
+    threads = ctx.threads
+    cores = ctx.machine.physical_cores
+
+    total_cycles = 0.0
+    total_work = 0.0
+    for it in run.iterations:
+        costs = []
+        if len(it.pull_vertices):
+            d_in = deg_in[it.pull_vertices]
+            pull_costs = (
+                cost.vertex_task_base
+                + vector_cost(d_in, cost)
+                + d_in * cost.neighbor_visit
+                + cost.property_write
+            )
+            if neighbor_degree_query:
+                pull_costs = pull_costs + d_in * dq
+            costs.append(pull_costs)
+        if len(it.push_vertices):
+            d_out = deg_out[it.push_vertices]
+            push_costs = vector_cost(d_out, cost) + d_out * cost.cas
+            costs.append(push_costs)
+        if not costs:
+            continue
+        per_task = np.concatenate(costs)
+        result = parallel_for_makespan(
+            per_task, threads=threads, physical_cores=cores, cost_model=cost
+        )
+        extra = it.pushes * cost.queue_push
+        total_cycles += result.makespan_cycles + extra / threads
+        total_work += result.total_work_cycles + extra
+
+    # Whole-array scans (affected flags, new-vertex init, FS resets):
+    # one light access per vertex, perfectly parallel.
+    scan_work = run.linear_scans * len(deg_in) * cost.probe_element
+    total_cycles += scan_work / threads
+    total_work += scan_work
+
+    return ComputePricing(
+        structure=structure,
+        latency_cycles=total_cycles,
+        total_work_cycles=total_work,
+        iteration_count=run.iteration_count,
+    )

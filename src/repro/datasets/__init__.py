@@ -1,0 +1,34 @@
+"""Datasets of the paper's evaluation (Section IV-C, Table II).
+
+The paper streams four SNAP graphs (LiveJournal, Orkut, wiki-topcats,
+wiki-Talk) and one synthetic RMAT graph.  The SNAP files are not
+redistributable here, so :mod:`repro.datasets.synthetic` generates
+calibrated stand-ins reproducing each graph's *structural signature* --
+the per-node edge shares that determine the per-batch degree
+distribution, which is the variable all of the paper's data-structure
+conclusions hinge on.  Real SNAP files can be loaded with
+:mod:`repro.datasets.snap` instead.
+"""
+
+from repro.datasets.catalog import (
+    DATASETS,
+    Dataset,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.rmat import rmat_edges
+from repro.datasets.snap import load_snap_edges
+from repro.datasets.synthetic import calibrate_alpha, power_law_edges
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "calibrate_alpha",
+    "dataset_names",
+    "load_dataset",
+    "load_snap_edges",
+    "power_law_edges",
+    "rmat_edges",
+]

@@ -1,0 +1,21 @@
+"""Exception types shared across the package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class StructureError(ReproError):
+    """A graph data structure was used incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The machine simulator was driven into an invalid state."""

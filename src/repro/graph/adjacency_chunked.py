@@ -1,0 +1,145 @@
+"""AC: adjacency list with chunked-style multithreading (Section III-A2).
+
+The adjacency list is partitioned into chunks, each owning the
+neighbor vectors of a subset of source vertices (``vertex % chunks``
+here).  A chunk is single-threaded, so intra-chunk updates need no
+locks; parallelism comes from running chunks on different threads.
+The price of the lockless design is routing: every chunk scans the
+whole incoming batch to pick out its own edges, a fixed per-batch
+overhead that makes AC slower than AS on short-tailed graphs but lets
+it sail past AS's lock convoy on heavy-tailed ones (Section V-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import StructureError
+from repro.graph.base import ExecutionContext, GraphDataStructure
+from repro.graph.vectorstore import VectorStore
+from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task
+
+#: Default chunk count; matches the paper's 64 hardware threads.
+DEFAULT_CHUNKS = 64
+
+
+class AdjacencyListChunked(GraphDataStructure):
+    """The paper's AC data structure."""
+
+    name = "AC"
+
+    def __init__(
+        self,
+        max_nodes,
+        directed=True,
+        cost_model=None,
+        address_space=None,
+        chunks: int = DEFAULT_CHUNKS,
+    ):
+        from repro.sim.cost_model import DEFAULT_COST_MODEL
+
+        super().__init__(
+            max_nodes,
+            directed=directed,
+            cost_model=cost_model or DEFAULT_COST_MODEL,
+            address_space=address_space,
+        )
+        if chunks < 1:
+            raise StructureError(f"chunks must be >= 1, got {chunks}")
+        self.chunks = chunks
+        self._out = VectorStore(max_nodes, self.space, "AC.out")
+        self._in = VectorStore(max_nodes, self.space, "AC.in") if directed else None
+
+    def chunk_of(self, u: int) -> int:
+        """Chunk owning vertex ``u``'s neighbor vector."""
+        return u % self.chunks
+
+    # -- mutation ------------------------------------------------------
+
+    def _insert_out(self, src, dst, weight, recorder):
+        return self._chunked_insert(self._out, src, dst, weight, recorder)
+
+    def _insert_in(self, src, dst, weight, recorder):
+        return self._chunked_insert(self._in, src, dst, weight, recorder)
+
+    def _chunked_insert(self, store, src, dst, weight, recorder) -> Tuple[Task, bool]:
+        outcome = store.insert(src, dst, weight, recorder)
+        cost = self.cost
+        work = cost.probe_element * outcome.scanned
+        if outcome.inserted:
+            work += cost.insert_slot
+            work += cost.vector_grow_per_element * outcome.grew_from
+        return (
+            Task(unlocked_work=work, chunk=self.chunk_of(src)),
+            outcome.inserted,
+        )
+
+    def _delete_out(self, src, dst, recorder):
+        return self._chunked_delete(self._out, src, dst, recorder)
+
+    def _delete_in(self, src, dst, recorder):
+        return self._chunked_delete(self._in, src, dst, recorder)
+
+    def _chunked_delete(self, store, src, dst, recorder) -> Tuple[Task, bool]:
+        outcome = store.remove(src, dst, recorder)
+        cost = self.cost
+        work = cost.probe_element * outcome.scanned
+        if outcome.removed:
+            work += cost.insert_slot * (1 + outcome.moved)
+        return (
+            Task(unlocked_work=work, chunk=self.chunk_of(src)),
+            outcome.removed,
+        )
+
+    def _batch_overhead_tasks(self, batch_size: int) -> List[Task]:
+        # Every chunk scans the whole batch once per store direction to
+        # find the edges it owns.
+        directions = 2  # out+in stores (directed) or both orientations
+        route = self.cost.route_edge * batch_size * directions
+        return [
+            Task(unlocked_work=route, chunk=c, overhead=True)
+            for c in range(self.chunks)
+        ]
+
+    def _schedule(self, tasks: List[Task], ctx: ExecutionContext) -> ScheduleResult:
+        scheduler = ChunkedScheduler(
+            threads=ctx.threads,
+            physical_cores=ctx.machine.physical_cores,
+            cost_model=ctx.cost_model,
+        )
+        return scheduler.run(tasks)
+
+    # -- queries -------------------------------------------------------
+
+    def out_neigh(self, u: int) -> Sequence[Tuple[int, float]]:
+        return self._out.neighbors(u)
+
+    def _in_neigh_directed(self, u: int) -> Sequence[Tuple[int, float]]:
+        return self._in.neighbors(u)
+
+    def out_degree(self, u: int) -> int:
+        return self._out.degree(u)
+
+    def in_degree(self, u: int) -> int:
+        if not self.directed:
+            return self._out.degree(u)
+        return self._in.degree(u)
+
+    # -- compute-phase costs -------------------------------------------
+
+    def out_traversal_cost(self, u: int) -> float:
+        cost = self.cost
+        return cost.probe_element * (1 + self._out.degree(u))
+
+    def _in_traversal_cost_directed(self, u: int) -> float:
+        cost = self.cost
+        return cost.probe_element * (1 + self._in.degree(u))
+
+    @staticmethod
+    def vector_traversal_cost(degrees, cost):
+        """Vectorized :meth:`out_traversal_cost` over a degree array."""
+        return cost.probe_element * (1.0 + degrees)
+
+    def _trace_traversal(self, u: int, recorder, out: bool) -> None:
+        store = self._out if out else self._in
+        store.trace_traversal(u, recorder)

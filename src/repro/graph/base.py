@@ -1,0 +1,377 @@
+"""The SAGA-Bench data-structure API.
+
+The paper defines a small API that every data structure implements so
+that compute models and algorithms are structure-agnostic (Section
+III-D): ``update()``, ``out_neigh()``, ``in_neigh()`` and
+``performAlg()`` (the latter lives in :mod:`repro.algorithms.registry`).
+
+Every structure here is *functional* -- it really stores the graph and
+answers neighbor queries -- and *instrumented* -- each operation charges
+cycle costs from the shared :class:`~repro.sim.cost_model.CostModel`
+and (optionally) emits the memory addresses it touches.  The simulated
+phase latency is the scheduler makespan over the charged tasks.
+
+Edges are ingested uniquely: as in the paper, every insert first
+searches for the edge and only inserts on a negative search.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StructureError
+from repro.graph.edge import EdgeBatch
+from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
+from repro.sim.memory import AddressSpace
+from repro.sim.scheduler import ScheduleResult, Task
+from repro.sim.trace import MemoryTrace, NullRecorder, TraceRecorder
+
+#: Lock-namespace offset separating out-store locks from in-store locks.
+IN_STORE_LOCK_BASE = 1 << 40
+
+
+@dataclass
+class ExecutionContext:
+    """Where and how a phase executes on the simulated machine.
+
+    Bundles the machine description, the thread count (defaulting to
+    all hardware threads, as in the paper's methodology), the cost
+    model, and an optional trace recorder for architecture profiling.
+    """
+
+    machine: MachineConfig = SKYLAKE_GOLD_6142
+    threads: Optional[int] = None
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    recorder: Optional[TraceRecorder] = None
+    #: Keep the per-edge task list in ``UpdateResult.extra["tasks"]``
+    #: so callers can re-schedule it (e.g. the core-scaling sweep).
+    keep_tasks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.threads is None:
+            self.threads = self.machine.hardware_threads
+        if self.threads < 1:
+            raise StructureError(f"threads must be >= 1, got {self.threads}")
+
+    @property
+    def effective_recorder(self):
+        return self.recorder if self.recorder is not None else NullRecorder()
+
+    def seconds(self, cycles: float) -> float:
+        return self.machine.cycles_to_seconds(cycles)
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of ingesting one batch into a data structure."""
+
+    schedule: ScheduleResult
+    edges_attempted: int
+    edges_inserted: int
+    duplicates: int
+    trace: Optional[MemoryTrace] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.schedule.makespan_cycles
+
+    def latency_seconds(self, machine: MachineConfig) -> float:
+        return machine.cycles_to_seconds(self.latency_cycles)
+
+
+class GraphDataStructure(abc.ABC):
+    """Base class for the four streaming-graph data structures.
+
+    Subclasses implement single-edge insertion into the out-store and
+    in-store (:meth:`_insert_out` / :meth:`_insert_in`), neighbor
+    retrieval, analytic traversal costs, and the scheduling style used
+    to turn per-edge tasks into a batch-update makespan.
+
+    Parameters
+    ----------
+    max_nodes:
+        Upper bound on vertex ids (property arrays and index arrays are
+        sized to it, as in the C++ benchmark where |V| is known from
+        the dataset header).
+    directed:
+        Directed graphs keep a second copy of the structure for
+        in-neighbors (paper footnote 3); undirected graphs ingest each
+        edge in both orientations into the single store.
+    """
+
+    #: Short name used in tables ("AS", "AC", "Stinger", "DAH").
+    name: str = "?"
+
+    def __init__(
+        self,
+        max_nodes: int,
+        directed: bool = True,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        address_space: Optional[AddressSpace] = None,
+    ) -> None:
+        if max_nodes < 1:
+            raise StructureError(f"max_nodes must be >= 1, got {max_nodes}")
+        self.max_nodes = max_nodes
+        self.directed = directed
+        self.cost = cost_model
+        self.space = address_space if address_space is not None else AddressSpace()
+        self._num_edges = 0
+        self._max_seen_node = -1
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def update(self, batch: EdgeBatch, ctx: Optional[ExecutionContext] = None) -> UpdateResult:
+        """Ingest ``batch``: the paper's *update phase* for one batch.
+
+        Returns an :class:`UpdateResult` whose latency is the simulated
+        parallel makespan of the per-edge insertion tasks under this
+        structure's multithreading style.
+        """
+        if ctx is None:
+            ctx = ExecutionContext()
+        recorder = ctx.effective_recorder
+        tasks: List[Task] = []
+        inserted = 0
+        duplicates = 0
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            w = float(batch.weight[i])
+            self._check_vertex(u)
+            self._check_vertex(v)
+            recorder.begin_task(len(tasks))
+            task, was_new = self._insert_out(u, v, w, recorder)
+            tasks.append(task)
+            if was_new:
+                inserted += 1
+                self._num_edges += 1
+            else:
+                duplicates += 1
+            if u != v or self.directed:
+                recorder.begin_task(len(tasks))
+                if self.directed:
+                    tasks.append(self._insert_in(v, u, w, recorder)[0])
+                else:
+                    tasks.append(self._insert_out(v, u, w, recorder)[0])
+            self._max_seen_node = max(self._max_seen_node, u, v)
+        tasks.extend(self._batch_overhead_tasks(len(batch)))
+        schedule = self._schedule(tasks, ctx)
+        trace = recorder.finalize() if ctx.recorder is not None else None
+        result = UpdateResult(
+            schedule=schedule,
+            edges_attempted=len(batch),
+            edges_inserted=inserted,
+            duplicates=duplicates,
+            trace=trace,
+        )
+        if ctx.keep_tasks:
+            result.extra["tasks"] = tasks
+        return result
+
+    def delete(self, batch: EdgeBatch, ctx: Optional[ExecutionContext] = None) -> UpdateResult:
+        """Remove ``batch``'s edges: a deletion-only update phase.
+
+        Deletions follow the same search-then-act discipline as
+        insertions and the same multithreading style; an edge that is
+        not present costs its (negative) search and is reported in
+        ``duplicates``.  Note that incremental *compute* over deletions
+        is approximate for the monotone algorithms (see
+        ``repro.compute.incremental``); from-scratch recomputation is
+        always exact.
+        """
+        if ctx is None:
+            ctx = ExecutionContext()
+        recorder = ctx.effective_recorder
+        tasks: List[Task] = []
+        removed = 0
+        missing = 0
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            self._check_vertex(u)
+            self._check_vertex(v)
+            recorder.begin_task(len(tasks))
+            task, was_removed = self._delete_out(u, v, recorder)
+            tasks.append(task)
+            if was_removed:
+                removed += 1
+                self._num_edges -= 1
+            else:
+                missing += 1
+            if u != v or self.directed:
+                recorder.begin_task(len(tasks))
+                if self.directed:
+                    tasks.append(self._delete_in(v, u, recorder)[0])
+                else:
+                    tasks.append(self._delete_out(v, u, recorder)[0])
+        tasks.extend(self._batch_overhead_tasks(len(batch)))
+        schedule = self._schedule(tasks, ctx)
+        trace = recorder.finalize() if ctx.recorder is not None else None
+        result = UpdateResult(
+            schedule=schedule,
+            edges_attempted=len(batch),
+            edges_inserted=removed,  # edges *affected* by this phase
+            duplicates=missing,
+            trace=trace,
+        )
+        result.extra["operation"] = "delete"
+        if ctx.keep_tasks:
+            result.extra["tasks"] = tasks
+        return result
+
+    def _delete_out(self, src: int, dst: int, recorder) -> Tuple[Task, bool]:
+        """Remove ``src -> dst`` from the out-store (per structure)."""
+        raise StructureError(f"{self.name} does not support deletion")
+
+    def _delete_in(self, src: int, dst: int, recorder) -> Tuple[Task, bool]:
+        """Remove ``src -> dst`` from the in-store (per structure)."""
+        raise StructureError(f"{self.name} does not support deletion")
+
+    def schedule_tasks(self, tasks: List[Task], ctx: ExecutionContext) -> ScheduleResult:
+        """Re-schedule a kept task list under a different context.
+
+        Task lists depend only on graph content, not on thread count,
+        so one ingest can be re-priced at many machine shapes (the
+        Fig. 9(a) core-scaling sweep).
+        """
+        return self._schedule(tasks, ctx)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of vertices seen so far (max id + 1)."""
+        return self._max_seen_node + 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of unique logical edges ingested so far."""
+        return self._num_edges
+
+    @abc.abstractmethod
+    def out_neigh(self, u: int) -> Sequence[Tuple[int, float]]:
+        """The ``(neighbor, weight)`` pairs of ``u``'s out-edges."""
+
+    def in_neigh(self, u: int) -> Sequence[Tuple[int, float]]:
+        """The ``(neighbor, weight)`` pairs of ``u``'s in-edges.
+
+        For undirected graphs this is the same as :meth:`out_neigh`.
+        """
+        if not self.directed:
+            return self.out_neigh(u)
+        return self._in_neigh_directed(u)
+
+    def out_degree(self, u: int) -> int:
+        return len(self.out_neigh(u))
+
+    def in_degree(self, u: int) -> int:
+        return len(self.in_neigh(u))
+
+    def vertices(self) -> Iterable[int]:
+        """All vertex ids from 0 to the largest seen."""
+        return range(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Analytic compute-phase costs
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def out_traversal_cost(self, u: int) -> float:
+        """Cycles to traverse ``u``'s out-neighbors once.
+
+        The compute executor charges this per processed vertex; the
+        constants come from the shared cost model but the *shape*
+        (contiguous scan vs pointer chasing vs hashed retrieval) is the
+        structure's own (paper Section V-B, "Impact of data structures
+        ... on compute latency").
+        """
+
+    def in_traversal_cost(self, u: int) -> float:
+        """Cycles to traverse ``u``'s in-neighbors once."""
+        if not self.directed:
+            return self.out_traversal_cost(u)
+        return self._in_traversal_cost_directed(u)
+
+    def degree_query_cost(self) -> float:
+        """Cycles for one degree lookup during compute.
+
+        Adjacency-based structures read a header field; DAH overrides
+        this with its table meta-query cost (Section III-A4).
+        """
+        return self.cost.probe_element
+
+    def trace_out_traversal(self, u: int, recorder) -> None:
+        """Emit the memory accesses of one out-neighbor traversal."""
+        self._trace_traversal(u, recorder, out=True)
+
+    def trace_in_traversal(self, u: int, recorder) -> None:
+        """Emit the memory accesses of one in-neighbor traversal."""
+        if not self.directed:
+            self._trace_traversal(u, recorder, out=True)
+        else:
+            self._trace_traversal(u, recorder, out=False)
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _insert_out(self, src: int, dst: int, weight: float, recorder) -> Tuple[Task, bool]:
+        """Insert ``src -> dst`` into the out-store.
+
+        Returns the schedulable :class:`Task` for the insert and
+        whether the edge was new (False for a duplicate).
+        """
+
+    @abc.abstractmethod
+    def _insert_in(self, src: int, dst: int, weight: float, recorder) -> Tuple[Task, bool]:
+        """Insert ``src -> dst`` into the in-store (directed only)."""
+
+    @abc.abstractmethod
+    def _in_neigh_directed(self, u: int) -> Sequence[Tuple[int, float]]:
+        ...
+
+    @abc.abstractmethod
+    def _in_traversal_cost_directed(self, u: int) -> float:
+        ...
+
+    @abc.abstractmethod
+    def _trace_traversal(self, u: int, recorder, out: bool) -> None:
+        ...
+
+    @abc.abstractmethod
+    def _schedule(self, tasks: List[Task], ctx: ExecutionContext) -> ScheduleResult:
+        """Turn the batch's tasks into a makespan (structure style)."""
+
+    def _batch_overhead_tasks(self, batch_size: int) -> List[Task]:
+        """Fixed per-batch overhead tasks (chunked routing etc.)."""
+        return []
+
+    # ------------------------------------------------------------------
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.max_nodes:
+            raise StructureError(
+                f"vertex {v} out of range [0, {self.max_nodes}) for {self.name}"
+            )
+
+    def degrees_snapshot(self) -> Tuple[List[int], List[int]]:
+        """(in-degrees, out-degrees) for all current vertices."""
+        n = self.num_nodes
+        outs = [self.out_degree(v) for v in range(n)]
+        ins = outs if not self.directed else [self.in_degree(v) for v in range(n)]
+        return list(ins), outs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} name={self.name} nodes={self.num_nodes} "
+            f"edges={self.num_edges} directed={self.directed}>"
+        )

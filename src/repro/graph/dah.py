@@ -1,0 +1,448 @@
+"""DAH: degree-aware hashing (Section III-A4, Fig. 5).
+
+Each chunk of DAH owns two hash tables:
+
+- a **low-degree table** (Robin Hood hashing) whose slots hold a vertex
+  key plus a small inline array of neighbors, and
+- a **high-degree table** (open addressing) mapping a vertex to a
+  growable hashed neighbor set.
+
+An edge insert first performs the *degree query* meta-operation to
+decide which table owns the source vertex; when a vertex in the
+low-degree table outgrows its inline array, its edges are *flushed* to
+the high-degree table.  Hashing gives amortized O(1) insertion -- the
+reason DAH is the most scalable structure for heavy-tailed batches --
+but the meta-operations make it the slowest updater on short-tailed
+ones, and hashed neighbor retrieval makes its compute phase the most
+expensive of the four structures (Section V-B).
+
+Chunks are single-threaded and lockless, like AC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StructureError
+from repro.graph.base import ExecutionContext, GraphDataStructure
+from repro.graph.hashtables import OpenAddressTable, RobinHoodTable
+from repro.sim.memory import AddressSpace, Region
+from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task
+
+#: A vertex moves to the high-degree table beyond this many neighbors.
+LOW_DEGREE_THRESHOLD = 16
+
+#: Slot sizes for trace-address computation.
+LOW_SLOT_BYTES = 8 + LOW_DEGREE_THRESHOLD * 8  # key + inline neighbor array
+HIGH_SLOT_BYTES = 16  # key + pointer to the neighbor set
+NEIGHBOR_SLOT_BYTES = 8
+
+#: Default chunk count; matches the paper's 64 hardware threads.
+DEFAULT_CHUNKS = 64
+
+
+class _TrackedTable:
+    """A hash table plus the simulated region backing its slot array."""
+
+    def __init__(self, table, space: AddressSpace, slot_bytes: int, label: str) -> None:
+        self.table = table
+        self.space = space
+        self.slot_bytes = slot_bytes
+        self.label = label
+        self._generation = -1
+        self.region: Optional[Region] = None
+        self._sync_region()
+
+    def _sync_region(self) -> None:
+        if self.table.generation != self._generation:
+            if self.region is not None:
+                self.space.free(self.region)
+            self.region = self.space.alloc(
+                self.table.capacity * self.slot_bytes, self.label
+            )
+            self._generation = self.table.generation
+
+    def trace_path(self, path: List[int], recorder, write_last: bool = False) -> None:
+        """Emit the probe path's slot addresses; resync after resizes."""
+        self._sync_region()
+        if not recorder.enabled:
+            return
+        last = len(path) - 1
+        for i, slot in enumerate(path):
+            recorder.access(
+                self.region.element(slot, self.slot_bytes),
+                write=write_last and i == last,
+            )
+
+
+@dataclass
+class _InsertStats:
+    """Primitive counts of one DAH edge insert, for cost pricing."""
+
+    table_probes: int = 0  # hash-table slots inspected (both tables)
+    hash_ops: int = 0  # hash computations performed
+    inline_scanned: int = 0  # inline-array entries compared
+    degree_queries: int = 0  # table meta-queries
+    flushed: int = 0  # entries migrated low -> high
+    rehash_moves: int = 0  # entries moved by table resizes
+    inserted: bool = False
+
+
+class _NeighborSet:
+    """Hashed neighbor container of one high-degree vertex."""
+
+    def __init__(self, space: AddressSpace, label: str) -> None:
+        self.table = OpenAddressTable(initial_capacity=32)
+        self.tracked = _TrackedTable(self.table, space, NEIGHBOR_SLOT_BYTES, label)
+
+    def insert(self, dst: int, weight: float, recorder, stats: _InsertStats) -> bool:
+        # Search-then-insert, as everywhere in SAGA-Bench: a duplicate
+        # edge must not overwrite the stored weight.
+        _, found = self.table.get(dst)
+        stats.hash_ops += 1
+        stats.table_probes += found.probes
+        self.tracked.trace_path(found.path, recorder)
+        if found.found:
+            return False
+        outcome = self.table.put(dst, weight)
+        stats.hash_ops += 1
+        stats.table_probes += outcome.probes
+        stats.rehash_moves += outcome.resized_moves
+        self.tracked.trace_path(outcome.path, recorder, write_last=True)
+        return True
+
+    def neighbors(self) -> List[Tuple[int, float]]:
+        return list(self.table.items())
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class _DAHStore:
+    """One direction (out or in) of degree-aware hashing."""
+
+    def __init__(self, max_nodes: int, chunks: int, space: AddressSpace, label: str) -> None:
+        self.max_nodes = max_nodes
+        self.chunks = chunks
+        self.space = space
+        self.label = label
+        self._low = [
+            _TrackedTable(
+                RobinHoodTable(initial_capacity=64),
+                space,
+                LOW_SLOT_BYTES,
+                f"{label}.low{c}",
+            )
+            for c in range(chunks)
+        ]
+        self._high = [
+            _TrackedTable(
+                OpenAddressTable(initial_capacity=16),
+                space,
+                HIGH_SLOT_BYTES,
+                f"{label}.high{c}",
+            )
+            for c in range(chunks)
+        ]
+        self._set_count = 0
+
+    def chunk_of(self, u: int) -> int:
+        return u % self.chunks
+
+    def insert(self, src: int, dst: int, weight: float, recorder) -> _InsertStats:
+        """Degree-aware search-then-insert of ``src -> dst``."""
+        stats = _InsertStats()
+        chunk = self.chunk_of(src)
+        high = self._high[chunk]
+        low = self._low[chunk]
+
+        # Degree query 1: does the high-degree table own src?
+        stats.degree_queries += 1
+        neighbor_set, outcome = high.table.get(src)
+        stats.hash_ops += 1
+        stats.table_probes += outcome.probes
+        high.trace_path(outcome.path, recorder)
+        if outcome.found:
+            stats.inserted = neighbor_set.insert(dst, weight, recorder, stats)
+            return stats
+
+        # Degree query 2: the low-degree table.
+        stats.degree_queries += 1
+        inline, outcome = low.table.get(src)
+        stats.hash_ops += 1
+        stats.table_probes += outcome.probes
+        low.trace_path(outcome.path, recorder)
+        if not outcome.found:
+            put = low.table.put(src, [(dst, weight)])
+            stats.hash_ops += 1
+            stats.table_probes += put.probes
+            stats.rehash_moves += put.resized_moves
+            low.trace_path(put.path, recorder, write_last=True)
+            stats.inserted = True
+            return stats
+
+        # Search the inline neighbor array (unique ingestion).
+        for i, (existing, _) in enumerate(inline):
+            stats.inline_scanned = i + 1
+            if existing == dst:
+                return stats  # duplicate
+        stats.inline_scanned = len(inline)
+        inline.append((dst, weight))
+        stats.inserted = True
+        if len(inline) <= LOW_DEGREE_THRESHOLD:
+            return stats
+
+        # Flush: src outgrew the inline array; migrate to the high table.
+        delete = low.table.delete(src)
+        stats.table_probes += delete.probes
+        neighbor_set = _NeighborSet(self.space, f"{self.label}.nbr{self._set_count}")
+        self._set_count += 1
+        for flushed_dst, flushed_weight in inline:
+            neighbor_set.insert(flushed_dst, flushed_weight, recorder, stats)
+            stats.flushed += 1
+        put = high.table.put(src, neighbor_set)
+        stats.hash_ops += 1
+        stats.table_probes += put.probes
+        stats.rehash_moves += put.resized_moves
+        high.trace_path(put.path, recorder, write_last=True)
+        return stats
+
+    def remove(self, src: int, dst: int, recorder) -> _InsertStats:
+        """Degree-aware search-then-remove of ``src -> dst``.
+
+        High-degree vertices tombstone the entry in their neighbor
+        set; low-degree vertices compact their inline array.  Vertices
+        never demote from the high-degree table (as in DegAwareRHH;
+        re-promotion churn would dominate).  ``stats.inserted`` means
+        "an edge was removed".
+        """
+        stats = _InsertStats()
+        chunk = self.chunk_of(src)
+        high = self._high[chunk]
+        low = self._low[chunk]
+
+        stats.degree_queries += 1
+        neighbor_set, outcome = high.table.get(src)
+        stats.hash_ops += 1
+        stats.table_probes += outcome.probes
+        high.trace_path(outcome.path, recorder)
+        if outcome.found:
+            delete = neighbor_set.table.delete(dst)
+            stats.hash_ops += 1
+            stats.table_probes += delete.probes
+            neighbor_set.tracked.trace_path(delete.path, recorder, write_last=delete.found)
+            stats.inserted = delete.found
+            return stats
+
+        stats.degree_queries += 1
+        inline, outcome = low.table.get(src)
+        stats.hash_ops += 1
+        stats.table_probes += outcome.probes
+        low.trace_path(outcome.path, recorder)
+        if not outcome.found:
+            return stats
+        for index, (existing, _) in enumerate(inline):
+            stats.inline_scanned = index + 1
+            if existing == dst:
+                inline[index] = inline[-1]
+                inline.pop()
+                stats.inserted = True
+                if not inline:
+                    drop = low.table.delete(src)
+                    stats.table_probes += drop.probes
+                return stats
+        return stats
+
+    def _lookup(self, u: int):
+        """(container, is_high) for ``u``; container may be None."""
+        chunk = self.chunk_of(u)
+        neighbor_set, outcome = self._high[chunk].table.get(u)
+        if outcome.found:
+            return neighbor_set, True
+        inline, outcome = self._low[chunk].table.get(u)
+        if outcome.found:
+            return inline, False
+        return None, False
+
+    def neighbors(self, u: int) -> List[Tuple[int, float]]:
+        container, is_high = self._lookup(u)
+        if container is None:
+            return []
+        return container.neighbors() if is_high else list(container)
+
+    def degree(self, u: int) -> int:
+        container, _ = self._lookup(u)
+        return len(container) if container is not None else 0
+
+    def is_high_degree(self, u: int) -> bool:
+        _, is_high = self._lookup(u)
+        return is_high
+
+    def trace_traversal(self, u: int, recorder) -> None:
+        chunk = self.chunk_of(u)
+        high = self._high[chunk]
+        neighbor_set, outcome = high.table.get(u)
+        high.trace_path(outcome.path, recorder)
+        if outcome.found:
+            tracked = neighbor_set.tracked
+            tracked._sync_region()
+            # Enumerate the set's slot array sequentially (sparse scan).
+            recorder.access_range(
+                tracked.region.base, neighbor_set.table.capacity, NEIGHBOR_SLOT_BYTES
+            )
+            return
+        low = self._low[chunk]
+        _, outcome = low.table.get(u)
+        low.trace_path(outcome.path, recorder)
+
+
+class DegreeAwareHash(GraphDataStructure):
+    """The paper's DAH data structure."""
+
+    name = "DAH"
+
+    def __init__(
+        self,
+        max_nodes,
+        directed=True,
+        cost_model=None,
+        address_space=None,
+        chunks: int = DEFAULT_CHUNKS,
+    ):
+        from repro.sim.cost_model import DEFAULT_COST_MODEL
+
+        super().__init__(
+            max_nodes,
+            directed=directed,
+            cost_model=cost_model or DEFAULT_COST_MODEL,
+            address_space=address_space,
+        )
+        if chunks < 1:
+            raise StructureError(f"chunks must be >= 1, got {chunks}")
+        self.chunks = chunks
+        self._out = _DAHStore(max_nodes, chunks, self.space, "DAH.out")
+        self._in = (
+            _DAHStore(max_nodes, chunks, self.space, "DAH.in") if directed else None
+        )
+
+    # -- mutation ------------------------------------------------------
+
+    def _insert_out(self, src, dst, weight, recorder):
+        return self._hashed_insert(self._out, src, dst, weight, recorder)
+
+    def _insert_in(self, src, dst, weight, recorder):
+        return self._hashed_insert(self._in, src, dst, weight, recorder)
+
+    def _hashed_insert(self, store, src, dst, weight, recorder) -> Tuple[Task, bool]:
+        stats = store.insert(src, dst, weight, recorder)
+        cost = self.cost
+        work = (
+            cost.hash_compute * stats.hash_ops
+            + cost.hash_probe * stats.table_probes
+            + cost.probe_element * stats.inline_scanned
+            + cost.degree_query * stats.degree_queries
+            + cost.flush_per_edge * stats.flushed
+            + cost.rehash_per_element * stats.rehash_moves
+        )
+        if stats.inserted:
+            work += cost.insert_slot
+        return (
+            Task(unlocked_work=work, chunk=store.chunk_of(src)),
+            stats.inserted,
+        )
+
+    def _delete_out(self, src, dst, recorder):
+        return self._hashed_delete(self._out, src, dst, recorder)
+
+    def _delete_in(self, src, dst, recorder):
+        return self._hashed_delete(self._in, src, dst, recorder)
+
+    def _hashed_delete(self, store, src, dst, recorder) -> Tuple[Task, bool]:
+        stats = store.remove(src, dst, recorder)
+        cost = self.cost
+        work = (
+            cost.hash_compute * stats.hash_ops
+            + cost.hash_probe * stats.table_probes
+            + cost.probe_element * stats.inline_scanned
+            + cost.degree_query * stats.degree_queries
+        )
+        if stats.inserted:
+            work += cost.insert_slot
+        return (
+            Task(unlocked_work=work, chunk=store.chunk_of(src)),
+            stats.inserted,
+        )
+
+    def _batch_overhead_tasks(self, batch_size: int) -> List[Task]:
+        directions = 2
+        route = self.cost.route_edge * batch_size * directions
+        return [
+            Task(unlocked_work=route, chunk=c, overhead=True)
+            for c in range(self.chunks)
+        ]
+
+    def _schedule(self, tasks: List[Task], ctx: ExecutionContext) -> ScheduleResult:
+        scheduler = ChunkedScheduler(
+            threads=ctx.threads,
+            physical_cores=ctx.machine.physical_cores,
+            cost_model=ctx.cost_model,
+        )
+        return scheduler.run(tasks)
+
+    # -- queries -------------------------------------------------------
+
+    def out_neigh(self, u: int) -> Sequence[Tuple[int, float]]:
+        return self._out.neighbors(u)
+
+    def _in_neigh_directed(self, u: int) -> Sequence[Tuple[int, float]]:
+        return self._in.neighbors(u)
+
+    def out_degree(self, u: int) -> int:
+        return self._out.degree(u)
+
+    def in_degree(self, u: int) -> int:
+        if not self.directed:
+            return self._out.degree(u)
+        return self._in.degree(u)
+
+    # -- compute-phase costs -------------------------------------------
+
+    def out_traversal_cost(self, u: int) -> float:
+        return self._traversal_cost(self._out, u)
+
+    def _in_traversal_cost_directed(self, u: int) -> float:
+        return self._traversal_cost(self._in, u)
+
+    def _traversal_cost(self, store, u: int) -> float:
+        cost = self.cost
+        base = cost.degree_query + cost.hash_compute + cost.hash_probe
+        degree = store.degree(u)
+        if store.is_high_degree(u):
+            # Sparse enumeration of the hashed neighbor set.
+            return base + cost.hash_iterate_slot * degree
+        # Inline array: contiguous, but behind a hashed lookup.
+        return base + cost.probe_element * degree
+
+    def degree_query_cost(self) -> float:
+        """Degree lookups require a table meta-query (Section III-A4)."""
+        return self.cost.degree_query + self.cost.hash_probe
+
+    @staticmethod
+    def vector_traversal_cost(degrees, cost):
+        """Vectorized traversal cost over a degree array.
+
+        A vertex lives in the high-degree table exactly when its degree
+        exceeds :data:`LOW_DEGREE_THRESHOLD` (the flush is triggered on
+        the insert that crosses it).
+        """
+        import numpy as np
+
+        base = cost.degree_query + cost.hash_compute + cost.hash_probe
+        high = degrees > LOW_DEGREE_THRESHOLD
+        per_neighbor = np.where(high, cost.hash_iterate_slot, cost.probe_element)
+        return base + per_neighbor * degrees
+
+    def _trace_traversal(self, u: int, recorder, out: bool) -> None:
+        store = self._out if out else self._in
+        store.trace_traversal(u, recorder)

@@ -1,0 +1,116 @@
+"""Uninstrumented reference adjacency.
+
+A plain dict-of-dicts graph with the same unique-ingestion semantics as
+the four instrumented structures.  It serves two roles:
+
+- the ground truth the test suite cross-checks every structure against;
+- the fast neutral view the streaming driver runs algorithms on when it
+  only needs *operation counts* (per-structure compute latencies are
+  then priced analytically, since vertex values are independent of
+  which structure stores the topology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import StructureError
+from repro.graph.edge import EdgeBatch
+
+
+class ReferenceGraph:
+    """Ground-truth adjacency with unique edge ingestion."""
+
+    def __init__(self, max_nodes: int, directed: bool = True) -> None:
+        if max_nodes < 1:
+            raise StructureError(f"max_nodes must be >= 1, got {max_nodes}")
+        self.max_nodes = max_nodes
+        self.directed = directed
+        self._out: List[Dict[int, float]] = [dict() for _ in range(max_nodes)]
+        self._in: List[Dict[int, float]] = (
+            [dict() for _ in range(max_nodes)] if directed else self._out
+        )
+        self._num_edges = 0
+        self._max_seen = -1
+
+    def update(self, batch: EdgeBatch) -> int:
+        """Ingest a batch; returns the number of new unique edges."""
+        return len(self.update_collect(batch))
+
+    def update_collect(self, batch: EdgeBatch):
+        """Ingest a batch; returns the list of newly inserted edges.
+
+        Each element is ``(src, dst, weight)``.  For undirected graphs
+        the reverse orientation is ingested too but reported once.  The
+        streaming driver uses the returned list to maintain incremental
+        degree and in-edge arrays.
+        """
+        inserted = []
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            w = float(batch.weight[i])
+            if not (0 <= u < self.max_nodes and 0 <= v < self.max_nodes):
+                raise StructureError(f"edge ({u}, {v}) out of range")
+            if v not in self._out[u]:
+                self._out[u][v] = w
+                inserted.append((u, v, w))
+                if self.directed:
+                    self._in[v][u] = w
+                elif u != v:
+                    self._out[v][u] = w
+            self._max_seen = max(self._max_seen, u, v)
+        self._num_edges += len(inserted)
+        return inserted
+
+    def delete_collect(self, batch: EdgeBatch):
+        """Remove a batch's edges; returns the list actually removed."""
+        removed = []
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            if not (0 <= u < self.max_nodes and 0 <= v < self.max_nodes):
+                raise StructureError(f"edge ({u}, {v}) out of range")
+            weight = self._out[u].pop(v, None)
+            if weight is None:
+                continue
+            removed.append((u, v, weight))
+            if self.directed:
+                del self._in[v][u]
+            elif u != v:
+                del self._out[v][u]
+        self._num_edges -= len(removed)
+        return removed
+
+    @property
+    def num_nodes(self) -> int:
+        return self._max_seen + 1
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def out_neigh(self, u: int) -> Sequence[Tuple[int, float]]:
+        return list(self._out[u].items())
+
+    def in_neigh(self, u: int) -> Sequence[Tuple[int, float]]:
+        return list(self._in[u].items())
+
+    def out_degree(self, u: int) -> int:
+        return len(self._out[u])
+
+    def in_degree(self, u: int) -> int:
+        return len(self._in[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return v in self._out[u]
+
+    def vertices(self) -> range:
+        return range(self.num_nodes)
+
+    def out_items(self, u: int) -> Dict[int, float]:
+        """Direct (read-only by convention) access to u's out-dict."""
+        return self._out[u]
+
+    def in_items(self, u: int) -> Dict[int, float]:
+        return self._in[u]

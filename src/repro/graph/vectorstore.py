@@ -1,0 +1,161 @@
+"""Shared internals of the two adjacency-list structures (AS and AC).
+
+Both structures store, per vertex, a contiguous growable vector of
+``(neighbor, weight)`` entries; they differ only in multithreading
+style (per-vertex locks vs lockless chunks).  :class:`VectorStore`
+implements the storage, duplicate detection, growth accounting, and
+memory-trace emission once, and reports the primitive counts of each
+operation so each structure can price them with the shared cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.memory import AddressSpace, Region
+
+#: Bytes of one (neighbor, weight) entry: 4B id + 4B weight, packed.
+ENTRY_BYTES = 8
+
+#: Bytes of one per-vertex header (pointer, size, capacity, lock word).
+HEADER_BYTES = 16
+
+#: Initial capacity of a vertex's neighbor vector.
+INITIAL_CAPACITY = 4
+
+
+@dataclass
+class InsertOutcome:
+    """Primitive counts of one search-then-insert operation."""
+
+    scanned: int  # entries compared during the search scan
+    inserted: bool  # False when the edge already existed
+    grew_from: int  # elements moved by a capacity doubling (0 if none)
+
+
+@dataclass
+class RemoveOutcome:
+    """Primitive counts of one search-then-remove operation."""
+
+    scanned: int  # entries compared during the search scan
+    removed: bool  # False when the edge was absent
+    moved: int  # entries moved to close the hole (swap-remove: 0 or 1)
+
+
+class VectorStore:
+    """Array-of-vectors storage for one direction of adjacency.
+
+    Functionally a ``vertex -> [(neighbor, weight), ...]`` map with
+    unique neighbors.  Membership checks use a per-vertex index dict
+    (so the Python implementation is O(1)), but the *charged* cost is
+    the linear scan a contiguous C++ vector would perform, and the
+    emitted trace walks the vector's real simulated addresses.
+    """
+
+    def __init__(self, max_nodes: int, space: AddressSpace, label: str) -> None:
+        self.max_nodes = max_nodes
+        self.space = space
+        self.label = label
+        self._neighbors: List[List[Tuple[int, float]]] = [[] for _ in range(max_nodes)]
+        self._position: List[Dict[int, int]] = [{} for _ in range(max_nodes)]
+        self._capacity: List[int] = [0] * max_nodes
+        self._region: List[Optional[Region]] = [None] * max_nodes
+        self._header = space.alloc(max_nodes * HEADER_BYTES, f"{label}.headers")
+
+    def insert(self, src: int, dst: int, weight: float, recorder) -> InsertOutcome:
+        """Search for ``src -> dst`` and insert it if absent."""
+        vec = self._neighbors[src]
+        index = self._position[src]
+        tracing = recorder.enabled
+        if tracing:
+            recorder.access(self._header.element(src, HEADER_BYTES))
+        existing = index.get(dst)
+        if existing is not None:
+            scanned = existing + 1
+            if tracing:
+                self._trace_scan(src, scanned, recorder)
+            return InsertOutcome(scanned=scanned, inserted=False, grew_from=0)
+        scanned = len(vec)
+        if tracing:
+            self._trace_scan(src, scanned, recorder)
+        grew_from = 0
+        if len(vec) == self._capacity[src]:
+            grew_from = self._grow(src)
+        index[dst] = len(vec)
+        vec.append((dst, weight))
+        if tracing and self._region[src] is not None:
+            recorder.access(
+                self._region[src].element(len(vec) - 1, ENTRY_BYTES), write=True
+            )
+        return InsertOutcome(scanned=scanned, inserted=True, grew_from=grew_from)
+
+    def _grow(self, src: int) -> int:
+        """Double ``src``'s vector capacity; returns elements moved."""
+        old_len = len(self._neighbors[src])
+        new_capacity = max(INITIAL_CAPACITY, self._capacity[src] * 2)
+        old_region = self._region[src]
+        self._region[src] = self.space.alloc(
+            new_capacity * ENTRY_BYTES, f"{self.label}.vec"
+        )
+        if old_region is not None:
+            self.space.free(old_region)
+        self._capacity[src] = new_capacity
+        return old_len
+
+    def _trace_scan(self, src: int, count: int, recorder) -> None:
+        region = self._region[src]
+        if region is None or count == 0:
+            return
+        recorder.access_range(region.base, min(count, len(self._neighbors[src])), ENTRY_BYTES)
+
+    def remove(self, src: int, dst: int, recorder) -> RemoveOutcome:
+        """Search for ``src -> dst`` and swap-remove it if present.
+
+        The last entry moves into the vacated slot, keeping the vector
+        dense (the standard unordered-vector deletion).
+        """
+        vec = self._neighbors[src]
+        index = self._position[src]
+        tracing = recorder.enabled
+        if tracing:
+            recorder.access(self._header.element(src, HEADER_BYTES))
+        position = index.get(dst)
+        if position is None:
+            scanned = len(vec)
+            if tracing:
+                self._trace_scan(src, scanned, recorder)
+            return RemoveOutcome(scanned=scanned, removed=False, moved=0)
+        scanned = position + 1
+        if tracing:
+            self._trace_scan(src, scanned, recorder)
+        last = len(vec) - 1
+        moved = 0
+        if position != last:
+            vec[position] = vec[last]
+            index[vec[position][0]] = position
+            moved = 1
+            if tracing and self._region[src] is not None:
+                recorder.access(
+                    self._region[src].element(position, ENTRY_BYTES), write=True
+                )
+        vec.pop()
+        del index[dst]
+        return RemoveOutcome(scanned=scanned, removed=True, moved=moved)
+
+    def neighbors(self, u: int) -> List[Tuple[int, float]]:
+        return self._neighbors[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._neighbors[u])
+
+    def trace_traversal(self, u: int, recorder) -> None:
+        """Emit the accesses of one full traversal of ``u``'s vector."""
+        recorder.access(self._header.element(u, HEADER_BYTES))
+        region = self._region[u]
+        if region is not None:
+            recorder.access_range(region.base, len(self._neighbors[u]), ENTRY_BYTES)
+
+    @property
+    def header_region(self) -> Region:
+        return self._header

@@ -1,0 +1,131 @@
+"""Abstract per-operation cycle costs charged by the data structures.
+
+Every graph data structure in :mod:`repro.graph` is written against this
+cost model: each primitive it executes (probing a vector slot, computing
+a hash, chasing an edge-block pointer, acquiring a lock, ...) charges a
+named constant.  The discrete-event scheduler then turns the charged
+work into a parallel makespan.
+
+The constants are calibrated so that the *relative* behavior the paper
+reports emerges from the mechanisms (e.g. DAH's O(1) hashed insert vs
+AS's O(degree) locked scan), not from per-structure fudge factors: the
+same constant is charged for the same primitive no matter which
+structure executes it.  Absolute values are loosely based on Skylake
+latencies (L1 hit ~4 cycles, LLC hit ~40, contended cache-line transfer
+~500).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs of the primitives used by the streaming structures.
+
+    Attributes
+    ----------
+    probe_element:
+        Reading and comparing one neighbor entry during a linear scan
+        of a contiguous vector (cache-friendly: mostly L1 hits).
+    probe_block_element:
+        Reading and comparing one neighbor entry inside a Stinger
+        edge block (same cost as a vector probe; the block pointer
+        chase is charged separately).
+    pointer_chase:
+        Following a ``next`` pointer to another edge block (a dependent
+        load that typically misses the L1).
+    hash_compute:
+        Computing a hash of an edge key.
+    hash_probe:
+        Inspecting one bucket during open-address / Robin Hood probing.
+    insert_slot:
+        Writing a new edge into a free slot (vector push-back, block
+        slot, or hash bucket).
+    vector_grow_per_element:
+        Amortized cost per moved element when a vector doubles.
+    lock_acquire / lock_release:
+        Uncontended lock acquire / release (atomic RMW on a warm line).
+    lock_contended_penalty:
+        Extra cycles for an acquire of a *coarse* lock that had to
+        wait: threads spin on the long critical section and the lock
+        line storms between cores (AS's per-vertex vector locks).
+    fine_lock_contended_penalty:
+        The same for *fine-grained* locks guarding tiny critical
+        sections (Stinger's per-edge-block locks): the spin window is
+        a few cycles, so the coherence penalty is far smaller.
+    cas:
+        One compare-and-swap (used by INC's visited bitvector).
+    degree_query:
+        DAH meta-operation: querying a table's stored degree to decide
+        where an edge lives (Section III-A4).
+    flush_per_edge:
+        DAH meta-operation: migrating one edge from the low-degree to
+        the high-degree table during a periodic flush.
+    route_edge:
+        Chunked-style multithreading overhead: one thread inspecting
+        one batch edge to decide whether it belongs to its chunk
+        (every chunk scans the whole batch).
+    task_dispatch:
+        OpenMP dynamic-scheduling overhead per dispatched work unit.
+    vertex_task_base:
+        Fixed per-vertex overhead of one vertex-function evaluation
+        (loop control, loading the vertex's property).
+    neighbor_visit:
+        Traversing to one neighbor and reading its property value
+        during the compute phase.
+    property_write:
+        Writing one vertex property value.
+    queue_push:
+        Pushing one vertex onto the INC frontier queue.
+    hash_iterate_slot:
+        Enumerating one occupied slot while traversing a hash table's
+        neighbor set (slots are sparse, so this exceeds a contiguous
+        vector probe).
+    rehash_per_element:
+        Re-inserting one element when a hash table resizes.
+    smt_work_scale:
+        Multiplier on per-thread work when both SMT siblings of a core
+        are active (two hyperthreads share one core's pipelines; 1.35
+        means a core runs ~1.48x faster with SMT than one thread).
+    """
+
+    probe_element: float = 4.0
+    probe_block_element: float = 4.0
+    pointer_chase: float = 38.0
+    hash_compute: float = 12.0
+    hash_probe: float = 7.0
+    insert_slot: float = 10.0
+    vector_grow_per_element: float = 2.0
+    lock_acquire: float = 25.0
+    lock_release: float = 8.0
+    lock_contended_penalty: float = 4000.0
+    fine_lock_contended_penalty: float = 900.0
+    cas: float = 30.0
+    degree_query: float = 25.0
+    flush_per_edge: float = 22.0
+    route_edge: float = 3.0
+    task_dispatch: float = 12.0
+    vertex_task_base: float = 35.0
+    neighbor_visit: float = 7.0
+    property_write: float = 12.0
+    queue_push: float = 15.0
+    hash_iterate_slot: float = 16.0
+    rehash_per_element: float = 20.0
+    smt_work_scale: float = 1.35
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if value < 0:
+                raise ConfigError(f"cost {name} must be non-negative, got {value}")
+        if self.smt_work_scale < 1.0:
+            raise ConfigError(
+                f"smt_work_scale must be >= 1 (it dilates work), got {self.smt_work_scale}"
+            )
+
+
+#: Default calibration used throughout the package.
+DEFAULT_COST_MODEL = CostModel()

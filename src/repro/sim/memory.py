@@ -1,0 +1,101 @@
+"""Synthetic address space for the simulated machine.
+
+The data structures allocate their storage (neighbor vectors, edge
+blocks, hash tables, property arrays) from an :class:`AddressSpace` so
+that the memory trace they emit has realistic spatial structure: a
+vector occupies a contiguous range, separate allocations land on
+separate cache lines, and page interleaving determines each address's
+home socket for the QPI traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.sim.machine import CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous allocation: ``[base, base + size)``."""
+
+    base: int
+    size: int
+    label: str
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def element(self, index: int, element_bytes: int) -> int:
+        """Address of the ``index``-th element of ``element_bytes`` each."""
+        addr = self.base + index * element_bytes
+        if addr + element_bytes > self.end:
+            raise SimulationError(
+                f"element {index} x {element_bytes}B overruns region "
+                f"{self.label!r} of {self.size}B"
+            )
+        return addr
+
+
+class AddressSpace:
+    """A bump allocator handing out cache-line-aligned regions.
+
+    Allocations never overlap and are never reused, which keeps the
+    model simple and makes traces reproducible.  ``free`` exists only to
+    keep accounting of live bytes honest (e.g. when a vector doubles and
+    the old storage is discarded).
+    """
+
+    def __init__(self, base: int = 1 << 20) -> None:
+        self._next = _align_up(base, CACHE_LINE_BYTES)
+        self._live_bytes = 0
+        self._allocated_bytes = 0
+        self._regions: List[Region] = []
+        self._live_by_label: Dict[str, int] = {}
+
+    def alloc(self, size: int, label: str = "") -> Region:
+        """Allocate ``size`` bytes; returns the new :class:`Region`."""
+        if size <= 0:
+            raise SimulationError(f"allocation size must be positive, got {size}")
+        base = self._next
+        self._next = _align_up(base + size, CACHE_LINE_BYTES)
+        region = Region(base=base, size=size, label=label)
+        self._regions.append(region)
+        self._live_bytes += size
+        self._allocated_bytes += size
+        self._live_by_label[label] = self._live_by_label.get(label, 0) + size
+        return region
+
+    def free(self, region: Region) -> None:
+        """Mark ``region`` dead (addresses are never recycled)."""
+        self._live_bytes -= region.size
+        self._live_by_label[region.label] = (
+            self._live_by_label.get(region.label, 0) - region.size
+        )
+        if self._live_bytes < 0:
+            raise SimulationError("double free detected in AddressSpace")
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes currently allocated and not freed."""
+        return self._live_bytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes ever allocated (freed or not)."""
+        return self._allocated_bytes
+
+    def live_bytes_for(self, label: str) -> int:
+        """Live bytes attributed to allocations labeled ``label``."""
+        return self._live_by_label.get(label, 0)
+
+    @property
+    def region_count(self) -> int:
+        return len(self._regions)
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

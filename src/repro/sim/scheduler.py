@@ -1,0 +1,308 @@
+"""Deterministic parallel-execution model.
+
+The graph data structures translate one batch update (or one compute
+phase) into a list of :class:`Task` objects -- "insert edge (u, v)",
+"evaluate the vertex function of v" -- each carrying its cycle cost and,
+where relevant, the lock it must hold and the chunk it is pinned to.
+This module turns such task lists into a *makespan*: the simulated
+parallel latency of the phase on a given thread count.
+
+Three execution models mirror the three multithreading styles in the
+paper (Section III-A):
+
+- :class:`DynamicScheduler` -- OpenMP-style dynamic scheduling with
+  shared-memory locks (used by AS and Stinger).  A discrete-event
+  greedy list scheduler: tasks are dispatched in order to the
+  earliest-free thread; a task that needs a lock waits until the lock
+  frees, and a contended acquire pays the cache-line ping-pong penalty.
+- :class:`ChunkedScheduler` -- chunked-style multithreading (used by AC
+  and DAH).  Each chunk is single-threaded and lockless; chunks map
+  round-robin onto threads and a thread's time is the sum of its
+  chunks' work.
+- :func:`parallel_for_makespan` -- a lock-free OpenMP ``parallel for``
+  (the compute phase).  Uses the greedy list-scheduling bound, which is
+  exact for dynamic scheduling of independent tasks up to dispatch
+  granularity.
+
+All three report a :class:`ScheduleResult` with the makespan, total
+work, and per-thread busy time, plus the task-to-thread assignment that
+the cache model uses to replay memory traces through private caches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+@dataclass
+class Task:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    unlocked_work:
+        Cycles executed before any lock is taken (e.g. Stinger's search
+        scans, which read edge blocks without locking).
+    locked_work:
+        Cycles executed while holding :attr:`lock`.  Zero for lockless
+        tasks.
+    lock:
+        Identifier of the lock the task must hold for its locked
+        portion, or ``None``.  AS uses the source-vertex id; Stinger
+        uses a per-edge-block id.
+    chunk:
+        For chunked-style structures, the chunk this task is pinned to.
+    fine_lock:
+        True when :attr:`lock` is a fine-grained lock (tiny critical
+        section); contended acquires then pay the smaller
+        ``fine_lock_contended_penalty``.
+    """
+
+    unlocked_work: float
+    locked_work: float = 0.0
+    lock: Optional[int] = None
+    chunk: Optional[int] = None
+    fine_lock: bool = False
+    #: Fixed per-batch overhead (e.g. chunk routing) rather than
+    #: per-edge work; analysis code may separate the two.
+    overhead: bool = False
+
+    @property
+    def total_work(self) -> float:
+        return self.unlocked_work + self.locked_work
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling one phase on ``threads`` threads."""
+
+    makespan_cycles: float
+    total_work_cycles: float
+    threads: int
+    task_count: int
+    thread_busy_cycles: np.ndarray
+    task_thread: np.ndarray
+    lock_wait_cycles: float = 0.0
+    contended_acquires: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of thread-cycles spent doing useful work."""
+        capacity = self.makespan_cycles * self.threads
+        if capacity <= 0:
+            return 0.0
+        return float(self.total_work_cycles / capacity)
+
+    @property
+    def speedup(self) -> float:
+        """Achieved speedup over serial execution of the same work."""
+        if self.makespan_cycles <= 0:
+            return 0.0
+        return float(self.total_work_cycles / self.makespan_cycles)
+
+
+def _work_scale(threads: int, physical_cores: int, cost: CostModel) -> float:
+    """Per-thread work dilation when SMT siblings share cores."""
+    if physical_cores <= 0:
+        raise SimulationError(f"physical_cores must be positive, got {physical_cores}")
+    if threads <= physical_cores:
+        return 1.0
+    return cost.smt_work_scale
+
+
+class DynamicScheduler:
+    """OpenMP-style dynamic scheduling with shared locks.
+
+    Tasks are dispatched in list order: whenever a thread becomes free
+    it grabs the next undispatched task.  A task runs its unlocked
+    portion immediately, then waits for its lock (if any).  This greedy
+    event-driven model captures the two phenomena the paper attributes
+    to the update phase's low thread-level parallelism: serialization
+    behind hot per-vertex locks, and threads idling while blocked.
+    """
+
+    def __init__(
+        self,
+        threads: int,
+        physical_cores: Optional[int] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        dispatch_chunk: int = 1,
+    ) -> None:
+        if threads < 1:
+            raise SimulationError(f"threads must be >= 1, got {threads}")
+        if dispatch_chunk < 1:
+            raise SimulationError(f"dispatch_chunk must be >= 1, got {dispatch_chunk}")
+        self.threads = threads
+        self.physical_cores = physical_cores if physical_cores is not None else threads
+        self.cost = cost_model
+        self.dispatch_chunk = dispatch_chunk
+
+    def run(self, tasks: Sequence[Task]) -> ScheduleResult:
+        """Schedule ``tasks`` and return the resulting makespan."""
+        n = len(tasks)
+        threads = self.threads
+        cost = self.cost
+        scale = _work_scale(threads, self.physical_cores, cost)
+        thread_busy = np.zeros(threads)
+        task_thread = np.empty(n, dtype=np.int32)
+        if n == 0:
+            return ScheduleResult(
+                makespan_cycles=0.0,
+                total_work_cycles=0.0,
+                threads=threads,
+                task_count=0,
+                thread_busy_cycles=thread_busy,
+                task_thread=task_thread,
+            )
+
+        # Min-heap of (free_time, thread_id): the next free thread pulls
+        # the next task (the essence of dynamic scheduling).
+        free_at = [(0.0, t) for t in range(threads)]
+        heapq.heapify(free_at)
+        lock_free: dict = {}
+        total_work = 0.0
+        lock_wait = 0.0
+        contended = 0
+        dispatch_cost = cost.task_dispatch / self.dispatch_chunk
+
+        for i, task in enumerate(tasks):
+            t_free, tid = heapq.heappop(free_at)
+            start = t_free + dispatch_cost * scale
+            unlocked_end = start + task.unlocked_work * scale
+            if task.lock is not None:
+                acquire_ready = lock_free.get(task.lock, 0.0)
+                acquire_at = max(unlocked_end, acquire_ready)
+                waited = acquire_at - unlocked_end
+                lock_cycles = cost.lock_acquire + cost.lock_release
+                if waited > 0.0:
+                    contended += 1
+                    lock_wait += waited
+                    lock_cycles += (
+                        cost.fine_lock_contended_penalty
+                        if task.fine_lock
+                        else cost.lock_contended_penalty
+                    )
+                end = acquire_at + (task.locked_work + lock_cycles) * scale
+                lock_free[task.lock] = end
+                total_work += task.total_work + lock_cycles
+            else:
+                end = unlocked_end + task.locked_work * scale
+                total_work += task.total_work
+            task_thread[i] = tid
+            thread_busy[tid] += end - t_free
+            heapq.heappush(free_at, (end, tid))
+
+        makespan = max(t for t, _ in free_at)
+        return ScheduleResult(
+            makespan_cycles=makespan,
+            total_work_cycles=total_work,
+            threads=threads,
+            task_count=n,
+            thread_busy_cycles=thread_busy,
+            task_thread=task_thread,
+            lock_wait_cycles=lock_wait,
+            contended_acquires=contended,
+        )
+
+
+class ChunkedScheduler:
+    """Chunked-style multithreading: lockless single-threaded chunks.
+
+    Every task must carry a ``chunk``; chunk ``c`` executes serially and
+    chunks map to threads round-robin (``c % threads``).  The makespan
+    is the longest per-thread sum -- workload imbalance across chunks
+    (the paper's explanation for DAH's poor scaling on heavy-tailed
+    graphs) shows up directly.
+    """
+
+    def __init__(
+        self,
+        threads: int,
+        physical_cores: Optional[int] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        if threads < 1:
+            raise SimulationError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self.physical_cores = physical_cores if physical_cores is not None else threads
+        self.cost = cost_model
+
+    def run(self, tasks: Sequence[Task]) -> ScheduleResult:
+        """Schedule chunk-pinned ``tasks`` and return the makespan."""
+        threads = self.threads
+        scale = _work_scale(threads, self.physical_cores, self.cost)
+        thread_busy = np.zeros(threads)
+        n = len(tasks)
+        task_thread = np.empty(n, dtype=np.int32)
+        total_work = 0.0
+        for i, task in enumerate(tasks):
+            if task.chunk is None:
+                raise SimulationError("ChunkedScheduler requires tasks with a chunk")
+            tid = task.chunk % threads
+            work = task.total_work
+            thread_busy[tid] += work * scale
+            total_work += work
+            task_thread[i] = tid
+        makespan = float(thread_busy.max()) if n else 0.0
+        return ScheduleResult(
+            makespan_cycles=makespan,
+            total_work_cycles=total_work,
+            threads=threads,
+            task_count=n,
+            thread_busy_cycles=thread_busy,
+            task_thread=task_thread,
+        )
+
+
+def parallel_for_makespan(
+    costs: np.ndarray,
+    threads: int,
+    physical_cores: Optional[int] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    dispatch_chunk: int = 64,
+) -> ScheduleResult:
+    """Makespan of a lock-free OpenMP ``parallel for`` over ``costs``.
+
+    Uses the greedy list-scheduling bound
+    ``makespan = total/T + (1 - 1/T) * max_task`` (Graham), which is a
+    tight model for dynamic scheduling of independent iterations, plus
+    per-dispatch overhead amortized over ``dispatch_chunk`` iterations.
+    """
+    if threads < 1:
+        raise SimulationError(f"threads must be >= 1, got {threads}")
+    cost = cost_model
+    cores = physical_cores if physical_cores is not None else threads
+    scale = _work_scale(threads, cores, cost)
+    costs = np.asarray(costs, dtype=np.float64)
+    n = int(costs.size)
+    task_thread = (np.arange(n, dtype=np.int32) % threads) if n else np.empty(0, np.int32)
+    if n == 0:
+        return ScheduleResult(
+            makespan_cycles=0.0,
+            total_work_cycles=0.0,
+            threads=threads,
+            task_count=0,
+            thread_busy_cycles=np.zeros(threads),
+            task_thread=task_thread,
+        )
+    dispatch = cost.task_dispatch * n / dispatch_chunk
+    total = float(costs.sum()) + dispatch
+    longest = float(costs.max())
+    makespan = (total / threads + (1.0 - 1.0 / threads) * longest) * scale
+    busy = np.bincount(task_thread, weights=costs, minlength=threads)
+    return ScheduleResult(
+        makespan_cycles=makespan,
+        total_work_cycles=total,
+        threads=threads,
+        task_count=n,
+        thread_busy_cycles=busy * scale,
+        task_thread=task_thread,
+    )

@@ -1,0 +1,135 @@
+"""Memory-access trace recording.
+
+While a data structure executes a phase it may emit the addresses it
+touches into a :class:`TraceRecorder`.  Each access is attributed to the
+*task* being executed at the time; after the scheduler assigns tasks to
+threads, the cache hierarchy replays the trace with per-thread private
+caches and a shared LLC.
+
+Tracing is optional: the software-level profiling (Section V of the
+paper) runs without a recorder attached, and the architecture-level
+profiling (Section VI) attaches one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MemoryTrace:
+    """A finalized access trace: parallel arrays of equal length."""
+
+    task_ids: np.ndarray  # int64, which task issued the access
+    addresses: np.ndarray  # int64, byte address
+    is_write: np.ndarray  # bool
+
+    def __post_init__(self) -> None:
+        if not (len(self.task_ids) == len(self.addresses) == len(self.is_write)):
+            raise ValueError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def read_count(self) -> int:
+        return int(len(self) - self.write_count)
+
+    @property
+    def write_count(self) -> int:
+        return int(self.is_write.sum())
+
+    def sample(self, max_accesses: int, seed: int = 0) -> "MemoryTrace":
+        """An order-preserving systematic sample of at most ``max_accesses``.
+
+        Cache statistics on graph traces are dominated by the access
+        *mix* rather than exact interleaving, so a strided subsample
+        keeps hit-ratio estimates stable while bounding replay cost.
+        """
+        n = len(self)
+        if n <= max_accesses:
+            return self
+        stride = n / max_accesses
+        rng = np.random.default_rng(seed)
+        offsets = np.floor(np.arange(max_accesses) * stride).astype(np.int64)
+        offsets = np.minimum(offsets + rng.integers(0, max(1, int(stride))), n - 1)
+        return MemoryTrace(
+            task_ids=self.task_ids[offsets],
+            addresses=self.addresses[offsets],
+            is_write=self.is_write[offsets],
+        )
+
+
+class TraceRecorder:
+    """Accumulates accesses during a phase; ``finalize`` yields arrays.
+
+    The recorder buffers into plain Python lists (append-dominated
+    workload) and converts to numpy once at the end.
+    """
+
+    #: Hot paths may skip trace emission entirely when False.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._task_ids: list = []
+        self._addresses: list = []
+        self._writes: list = []
+        self._current_task = 0
+
+    def begin_task(self, task_id: int) -> None:
+        """All subsequent accesses are attributed to ``task_id``."""
+        self._current_task = task_id
+
+    def access(self, address: int, write: bool = False) -> None:
+        """Record one memory access by the current task."""
+        self._task_ids.append(self._current_task)
+        self._addresses.append(address)
+        self._writes.append(write)
+
+    def access_range(self, base: int, count: int, stride: int, write: bool = False) -> None:
+        """Record ``count`` accesses at ``base, base+stride, ...``."""
+        task = self._current_task
+        for i in range(count):
+            self._task_ids.append(task)
+            self._addresses.append(base + i * stride)
+            self._writes.append(write)
+
+    def __len__(self) -> int:
+        return len(self._addresses)
+
+    def finalize(self) -> MemoryTrace:
+        """Freeze the buffered accesses into a :class:`MemoryTrace`."""
+        return MemoryTrace(
+            task_ids=np.asarray(self._task_ids, dtype=np.int64),
+            addresses=np.asarray(self._addresses, dtype=np.int64),
+            is_write=np.asarray(self._writes, dtype=bool),
+        )
+
+
+class NullRecorder:
+    """A no-op recorder used when tracing is disabled.
+
+    It mimics the :class:`TraceRecorder` interface so structures never
+    *need* to branch on "is tracing on"; hot paths may still consult
+    :attr:`enabled` to skip address computation entirely.
+    """
+
+    enabled = False
+
+    def begin_task(self, task_id: int) -> None:  # noqa: D102 - interface stub
+        pass
+
+    def access(self, address: int, write: bool = False) -> None:  # noqa: D102
+        pass
+
+    def access_range(self, base: int, count: int, stride: int, write: bool = False) -> None:  # noqa: D102
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def finalize(self) -> Optional[MemoryTrace]:  # noqa: D102
+        return None

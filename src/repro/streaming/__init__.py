@@ -1,0 +1,26 @@
+"""Streaming execution: batching, the driver loop, and result series.
+
+Implements the paper's measurement methodology (Section IV-B): shuffle
+the stream, ingest fixed-size batches, run update then compute per
+batch, and report per-batch latencies that the analysis layer averages
+into P1/P2/P3 stages with 95% confidence intervals.
+"""
+
+from repro.streaming.batching import make_batches
+from repro.streaming.driver import (
+    ALL_ALGORITHMS,
+    ALL_STRUCTURES,
+    StreamConfig,
+    StreamDriver,
+)
+from repro.streaming.results import BatchRecord, StreamResult
+
+__all__ = [
+    "ALL_ALGORITHMS",
+    "ALL_STRUCTURES",
+    "BatchRecord",
+    "make_batches",
+    "StreamConfig",
+    "StreamDriver",
+    "StreamResult",
+]

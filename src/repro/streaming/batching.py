@@ -1,0 +1,36 @@
+"""Stream preparation: shuffling and batch slicing (Section IV-B).
+
+The paper randomly shuffles each input file to break any ordering --
+streaming edges do not arrive in a predefined order -- then reads it in
+fixed-size batches.  Repetitions reshuffle with different seeds, which
+is where the run-to-run variation behind the confidence intervals
+comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import DatasetError
+from repro.graph.edge import EdgeBatch
+
+
+def make_batches(
+    edges: EdgeBatch,
+    batch_size: int,
+    shuffle_seed: int = 0,
+    shuffle: bool = True,
+) -> List[EdgeBatch]:
+    """Shuffle ``edges`` and slice the stream into batches.
+
+    The final batch may be smaller than ``batch_size``; it is dropped
+    only if empty.
+    """
+    if batch_size < 1:
+        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+    stream = edges.shuffled(shuffle_seed) if shuffle else edges
+    batches = [
+        stream.slice(start, min(start + batch_size, len(stream)))
+        for start in range(0, len(stream), batch_size)
+    ]
+    return [batch for batch in batches if len(batch)]

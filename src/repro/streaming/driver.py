@@ -1,0 +1,271 @@
+"""The streaming driver: the paper's measurement loop (Section IV-B).
+
+For each repetition the driver shuffles the dataset's edge stream,
+slices it into batches, and for every batch executes the two phases of
+Fig. 1:
+
+1. **Update phase** -- the batch is ingested into every configured data
+   structure; the simulated makespan of the insertion tasks is that
+   structure's update latency.
+2. **Compute phase** -- every configured algorithm runs under every
+   configured compute model against a neutral reference view (vertex
+   values are structure-independent), and the recorded operation
+   counts are priced per structure to produce compute latencies.
+
+Batch processing latency = update latency + compute latency
+(Equation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.registry import ALGORITHMS, COMPUTE_MODELS, get_algorithm
+from repro.compute.pricing import price_compute_run
+from repro.datasets.catalog import DEFAULT_BATCH_SIZE, Dataset
+from repro.errors import ConfigError
+from repro.graph import STRUCTURES, ReferenceGraph, make_structure
+from repro.graph.base import ExecutionContext
+from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
+from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
+from repro.streaming.batching import make_batches
+from repro.streaming.results import BatchRecord, StreamResult
+
+#: The paper's four structures (the default characterization matrix);
+#: the registry also accepts post-paper extensions such as "BA".
+ALL_STRUCTURES = ("AS", "AC", "Stinger", "DAH")
+ALL_ALGORITHMS = ("BFS", "CC", "MC", "PR", "SSSP", "SSWP")
+
+
+@dataclass
+class StreamConfig:
+    """What to run and on which simulated machine."""
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    structures: Tuple[str, ...] = ALL_STRUCTURES
+    algorithms: Tuple[str, ...] = ALL_ALGORITHMS
+    models: Tuple[str, ...] = COMPUTE_MODELS
+    repetitions: int = 1
+    machine: MachineConfig = SKYLAKE_GOLD_6142
+    threads: Optional[int] = None
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    shuffle_seed: int = 0
+    source: Optional[int] = None
+    progress: Optional[Callable[[str], None]] = None
+    #: Churn: after each insert batch, delete this fraction of the
+    #: batch's edges again (a mixed insert/delete stream).  The update
+    #: phase measures both operations; compute-model values stay exact
+    #: under FS, while INC is approximate for the monotone algorithms
+    #: once edges disappear (see repro.compute.incremental).
+    churn_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not 0.0 <= self.churn_fraction < 1.0:
+            raise ConfigError(
+                f"churn_fraction must be in [0, 1), got {self.churn_fraction}"
+            )
+        if self.repetitions < 1:
+            raise ConfigError(f"repetitions must be >= 1, got {self.repetitions}")
+        for name in self.structures:
+            if name not in STRUCTURES:
+                raise ConfigError(f"unknown structure {name!r}")
+        for name in self.algorithms:
+            if name not in ALGORITHMS:
+                raise ConfigError(f"unknown algorithm {name!r}")
+        for model in self.models:
+            if model not in COMPUTE_MODELS:
+                raise ConfigError(f"unknown compute model {model!r}")
+
+
+class StreamDriver:
+    """Runs the full characterization loop over one dataset."""
+
+    def __init__(self, config: Optional[StreamConfig] = None) -> None:
+        self.config = config if config is not None else StreamConfig()
+
+    def _pick_source(self, dataset: Dataset) -> int:
+        """Default single-source root: the stream's hottest source.
+
+        A hub is (almost surely) present from the first batch on and
+        reaches a large fraction of the graph, which matches how
+        single-source roots are chosen in graph benchmarks.
+        """
+        if self.config.source is not None:
+            return self.config.source
+        counts = np.bincount(dataset.edges.src)
+        return int(counts.argmax())
+
+    def run(self, dataset: Dataset) -> StreamResult:
+        """Stream ``dataset`` and record every simulated latency."""
+        cfg = self.config
+        source = self._pick_source(dataset)
+        ctx = ExecutionContext(
+            machine=cfg.machine, threads=cfg.threads, cost_model=cfg.cost_model
+        )
+        batches_per_rep = (len(dataset.edges) + cfg.batch_size - 1) // cfg.batch_size
+        result = StreamResult(
+            dataset=dataset.name,
+            machine=cfg.machine,
+            structures=cfg.structures,
+            algorithms=cfg.algorithms,
+            models=cfg.models,
+            repetitions=cfg.repetitions,
+            batches_per_rep=batches_per_rep,
+        )
+        for rep in range(cfg.repetitions):
+            self._run_repetition(dataset, rep, source, ctx, result)
+        return result
+
+    def _run_repetition(
+        self,
+        dataset: Dataset,
+        rep: int,
+        source: int,
+        ctx: ExecutionContext,
+        result: StreamResult,
+    ) -> None:
+        cfg = self.config
+        batches = make_batches(
+            dataset.edges, cfg.batch_size, shuffle_seed=cfg.shuffle_seed + 7919 * rep
+        )
+        structures = {
+            name: make_structure(
+                name,
+                dataset.max_nodes,
+                directed=dataset.directed,
+                cost_model=cfg.cost_model,
+            )
+            for name in cfg.structures
+        }
+        reference = ReferenceGraph(dataset.max_nodes, directed=dataset.directed)
+        states = {
+            name: get_algorithm(name).make_state(dataset.max_nodes)
+            for name in cfg.algorithms
+            if "INC" in cfg.models
+        }
+        deg_in = np.zeros(dataset.max_nodes, dtype=np.int64)
+        deg_out = np.zeros(dataset.max_nodes, dtype=np.int64)
+        in_src: list = []
+        in_dst: list = []
+        in_weight: list = []
+
+        for batch_index, batch in enumerate(batches):
+            record = BatchRecord(
+                repetition=rep,
+                batch_index=batch_index,
+                edges_attempted=len(batch),
+                edges_inserted=0,
+                num_nodes=0,
+                num_edges=0,
+            )
+            # ---- Update phase: every structure ingests the batch ----
+            for name, structure in structures.items():
+                update = structure.update(batch, ctx)
+                record.update_cycles[name] = update.latency_cycles
+                record.edges_inserted = update.edges_inserted
+            inserted = reference.update_collect(batch)
+            for u, v, w in inserted:
+                deg_out[u] += 1
+                deg_in[v] += 1
+                in_src.append(u)
+                in_dst.append(v)
+                in_weight.append(w)
+                if not dataset.directed and u != v:
+                    deg_out[v] += 1
+                    deg_in[u] += 1
+                    in_src.append(v)
+                    in_dst.append(u)
+                    in_weight.append(w)
+            removed: list = []
+            if cfg.churn_fraction > 0.0 and len(batch):
+                victims = batch.slice(
+                    0, max(1, int(len(batch) * cfg.churn_fraction))
+                )
+                for name, structure in structures.items():
+                    deletion = structure.delete(victims, ctx)
+                    record.update_cycles[name] += deletion.latency_cycles
+                removed = reference.delete_collect(victims)
+                removed_keys = set()
+                for u, v, w in removed:
+                    deg_out[u] -= 1
+                    deg_in[v] -= 1
+                    removed_keys.add((u, v))
+                    if not dataset.directed and u != v:
+                        deg_out[v] -= 1
+                        deg_in[u] -= 1
+                        removed_keys.add((v, u))
+                if removed_keys:
+                    kept = [
+                        i
+                        for i in range(len(in_src))
+                        if (in_src[i], in_dst[i]) not in removed_keys
+                    ]
+                    in_src = [in_src[i] for i in kept]
+                    in_dst = [in_dst[i] for i in kept]
+                    in_weight = [in_weight[i] for i in kept]
+            n = reference.num_nodes
+            record.num_nodes = n
+            record.num_edges = reference.num_edges
+            in_edges = (
+                np.asarray(in_src, dtype=np.int64),
+                np.asarray(in_dst, dtype=np.int64),
+                np.asarray(in_weight, dtype=np.float64),
+            )
+
+            # ---- Compute phase: each algorithm under each model ----
+            for alg_name in cfg.algorithms:
+                algorithm = get_algorithm(alg_name)
+                for model in cfg.models:
+                    if model == "FS":
+                        run = algorithm.fs_run(
+                            reference, source=source, in_edges=in_edges
+                        )
+                    else:
+                        affected = algorithm.affected_from_batch(batch, reference)
+                        runs = [
+                            algorithm.inc_run(
+                                reference, states[alg_name], affected, source=source
+                            )
+                        ]
+                        if removed:
+                            # Churn: repair the state after deletions
+                            # (sound KickStarter-style invalidation);
+                            # its cost belongs to this compute phase.
+                            runs.append(
+                                algorithm.inc_delete_run(
+                                    reference, states[alg_name], removed,
+                                    source=source,
+                                )
+                            )
+                        run = runs[0]
+                    if model == "FS" or not removed:
+                        runs = [run]
+                    record.compute_iterations[(alg_name, model)] = sum(
+                        r.iteration_count for r in runs
+                    )
+                    for structure_name in cfg.structures:
+                        cycles = 0.0
+                        for priced_run in runs:
+                            pricing = price_compute_run(
+                                priced_run,
+                                structure_name,
+                                deg_in[:n],
+                                deg_out[:n],
+                                ctx,
+                                neighbor_degree_query=algorithm.neighbor_degree_query,
+                            )
+                            cycles += pricing.latency_cycles
+                        record.compute_cycles[(alg_name, model, structure_name)] = (
+                            cycles
+                        )
+            result.records.append(record)
+            if cfg.progress is not None:
+                cfg.progress(
+                    f"{dataset.name} rep {rep} batch {batch_index + 1}/"
+                    f"{len(batches)}: |V|={n} |E|={reference.num_edges}"
+                )

@@ -1,0 +1,103 @@
+"""Result containers of a streaming run.
+
+One :class:`BatchRecord` per (repetition, batch) holds the simulated
+update latency of every data structure and the simulated compute
+latency of every (algorithm, model, structure) combination.  A
+:class:`StreamResult` aggregates them and exposes the per-batch latency
+series that the analysis harness turns into P1/P2/P3 stage averages.
+
+The paper's performance metric (Equation 1) is::
+
+    batch processing latency = update latency + compute latency
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.machine import MachineConfig
+
+ComboKey = Tuple[str, str, str]  # (algorithm, model, structure)
+
+
+@dataclass
+class BatchRecord:
+    """Simulated latencies and counts for one ingested batch."""
+
+    repetition: int
+    batch_index: int
+    edges_attempted: int
+    edges_inserted: int
+    num_nodes: int
+    num_edges: int
+    update_cycles: Dict[str, float] = field(default_factory=dict)
+    compute_cycles: Dict[ComboKey, float] = field(default_factory=dict)
+    compute_iterations: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+
+@dataclass
+class StreamResult:
+    """All records of one dataset's streaming characterization."""
+
+    dataset: str
+    machine: MachineConfig
+    structures: Tuple[str, ...]
+    algorithms: Tuple[str, ...]
+    models: Tuple[str, ...]
+    repetitions: int
+    batches_per_rep: int
+    records: List[BatchRecord] = field(default_factory=list)
+
+    def _series(self, extract) -> np.ndarray:
+        """(repetitions, batches) array of ``extract(record)`` seconds."""
+        values = np.empty((self.repetitions, self.batches_per_rep))
+        for record in self.records:
+            values[record.repetition, record.batch_index] = (
+                self.machine.cycles_to_seconds(extract(record))
+            )
+        return values
+
+    def update_latency(self, structure: str) -> np.ndarray:
+        """Per-batch update latency of ``structure``, seconds."""
+        self._check_structure(structure)
+        return self._series(lambda r: r.update_cycles[structure])
+
+    def compute_latency(self, algorithm: str, model: str, structure: str) -> np.ndarray:
+        """Per-batch compute latency of one combination, seconds."""
+        key = (algorithm, model, structure)
+        self._check_combo(key)
+        return self._series(lambda r: r.compute_cycles[key])
+
+    def batch_latency(self, algorithm: str, model: str, structure: str) -> np.ndarray:
+        """Per-batch total (Equation 1) latency, seconds."""
+        key = (algorithm, model, structure)
+        self._check_combo(key)
+        return self._series(
+            lambda r: r.update_cycles[structure] + r.compute_cycles[key]
+        )
+
+    def update_fraction(self, algorithm: str, model: str, structure: str) -> np.ndarray:
+        """Per-batch share of latency spent in the update phase."""
+        update = self.update_latency(structure)
+        total = self.batch_latency(algorithm, model, structure)
+        return np.divide(update, total, out=np.zeros_like(update), where=total > 0)
+
+    def _check_structure(self, structure: str) -> None:
+        if structure not in self.structures:
+            raise SimulationError(
+                f"structure {structure!r} was not part of this run "
+                f"(had {self.structures})"
+            )
+
+    def _check_combo(self, key: ComboKey) -> None:
+        algorithm, model, structure = key
+        self._check_structure(structure)
+        if algorithm not in self.algorithms or model not in self.models:
+            raise SimulationError(
+                f"combination {key} was not part of this run "
+                f"(algorithms {self.algorithms}, models {self.models})"
+            )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import EdgeBatch, ExecutionContext, ReferenceGraph
+from repro.sim.cost_model import DEFAULT_COST_MODEL
+from repro.sim.machine import MachineConfig
+
+#: A small simulated machine keeping unit-test schedules cheap.
+SMALL_MACHINE = MachineConfig(
+    sockets=2,
+    cores_per_socket=4,
+    smt=2,
+    l1d_bytes=4 * 1024,
+    l2_bytes=32 * 1024,
+    llc_bytes_per_socket=256 * 1024,
+    llc_ways=16,
+)
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return SMALL_MACHINE
+
+
+@pytest.fixture
+def ctx(machine) -> ExecutionContext:
+    return ExecutionContext(machine=machine, cost_model=DEFAULT_COST_MODEL)
+
+
+def random_batch(num_nodes: int, num_edges: int, seed: int, weights: bool = True) -> EdgeBatch:
+    """A reproducible random edge batch without self-loops."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges)
+    dst = rng.integers(0, num_nodes, size=num_edges)
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_nodes
+    weight = (
+        rng.integers(1, 9, size=num_edges).astype(np.float64)
+        if weights
+        else np.ones(num_edges)
+    )
+    return EdgeBatch(src=src.astype(np.int64), dst=dst.astype(np.int64), weight=weight)
+
+
+@pytest.fixture
+def batch() -> EdgeBatch:
+    return random_batch(num_nodes=60, num_edges=400, seed=11)
+
+
+@pytest.fixture
+def reference(batch) -> ReferenceGraph:
+    graph = ReferenceGraph(60, directed=True)
+    graph.update(batch)
+    return graph

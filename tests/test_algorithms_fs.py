@@ -1,0 +1,191 @@
+"""FS algorithm correctness against networkx ground truth."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.errors import SimulationError
+from repro.graph import ReferenceGraph
+from tests.conftest import random_batch
+
+SOURCE = 0
+
+
+@pytest.fixture(scope="module")
+def graph_pair():
+    """A ReferenceGraph and the equivalent networkx DiGraph."""
+    batch = random_batch(50, 400, seed=23)
+    reference = ReferenceGraph(50, directed=True)
+    reference.update(batch)
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(reference.num_nodes))
+    for u in range(reference.num_nodes):
+        for v, w in reference.out_neigh(u):
+            nx_graph.add_edge(u, v, weight=w)
+    return reference, nx_graph
+
+
+class TestBFS:
+    def test_depths_match_networkx(self, graph_pair):
+        reference, nx_graph = graph_pair
+        run = get_algorithm("BFS").fs_run(reference, source=SOURCE)
+        expected = nx.single_source_shortest_path_length(nx_graph, SOURCE)
+        for v in range(reference.num_nodes):
+            if v in expected:
+                assert run.values[v] == expected[v]
+            else:
+                assert np.isinf(run.values[v])
+
+    def test_source_required(self, graph_pair):
+        reference, _ = graph_pair
+        with pytest.raises(SimulationError):
+            get_algorithm("BFS").fs_run(reference)
+
+    def test_unreachable_source_out_of_graph(self):
+        reference = ReferenceGraph(4, directed=True)
+        from repro.graph import EdgeBatch
+
+        reference.update(EdgeBatch.from_edges([(0, 1)]))
+        run = get_algorithm("BFS").fs_run(reference, source=1)
+        assert run.values[1] == 0
+        assert np.isinf(run.values[0])
+
+
+class TestSSSP:
+    def test_distances_match_dijkstra(self, graph_pair):
+        reference, nx_graph = graph_pair
+        run = get_algorithm("SSSP").fs_run(reference, source=SOURCE)
+        expected = nx.single_source_dijkstra_path_length(nx_graph, SOURCE)
+        for v in range(reference.num_nodes):
+            if v in expected:
+                assert run.values[v] == pytest.approx(expected[v])
+            else:
+                assert np.isinf(run.values[v])
+
+    def test_delta_parameter_does_not_change_result(self, graph_pair):
+        from repro.algorithms.sssp import SSSP
+
+        reference, _ = graph_pair
+        coarse = SSSP(delta=8.0).fs_run(reference, source=SOURCE)
+        fine = SSSP(delta=1.0).fs_run(reference, source=SOURCE)
+        assert np.array_equal(
+            np.nan_to_num(coarse.values, posinf=-1),
+            np.nan_to_num(fine.values, posinf=-1),
+        )
+
+
+class TestSSWP:
+    def test_widths_match_bruteforce(self, graph_pair):
+        reference, nx_graph = graph_pair
+        run = get_algorithm("SSWP").fs_run(reference, source=SOURCE)
+        # Widest path via max-bottleneck Dijkstra on networkx.
+        import heapq
+
+        width = {SOURCE: float("inf")}
+        heap = [(-float("inf"), SOURCE)]
+        visited = set()
+        while heap:
+            negative_width, u = heapq.heappop(heap)
+            if u in visited:
+                continue
+            visited.add(u)
+            for _, v, data in nx_graph.out_edges(u, data=True):
+                candidate = min(-negative_width, data["weight"])
+                if candidate > width.get(v, 0.0):
+                    width[v] = candidate
+                    heapq.heappush(heap, (-candidate, v))
+        for v in range(reference.num_nodes):
+            assert run.values[v] == pytest.approx(width.get(v, 0.0))
+
+
+class TestCC:
+    def test_undirected_labels_are_components(self):
+        batch = random_batch(40, 120, seed=31)
+        reference = ReferenceGraph(40, directed=False)
+        reference.update(batch)
+        run = get_algorithm("CC").fs_run(reference)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(range(reference.num_nodes))
+        for u in range(reference.num_nodes):
+            for v, _ in reference.out_neigh(u):
+                nx_graph.add_edge(u, v)
+        for component in nx.connected_components(nx_graph):
+            labels = {run.values[v] for v in component}
+            assert len(labels) == 1
+            assert labels == {min(component)}
+
+    def test_directed_is_fixpoint(self, graph_pair):
+        """Every vertex satisfies the Table I equation at convergence."""
+        reference, _ = graph_pair
+        run = get_algorithm("CC").fs_run(reference)
+        values = run.values
+        for v in range(reference.num_nodes):
+            incoming = [values[u] for u, _ in reference.in_neigh(v)]
+            assert values[v] <= min(incoming, default=values[v])
+            assert values[v] <= v
+
+
+class TestMC:
+    def test_directed_is_fixpoint(self, graph_pair):
+        reference, _ = graph_pair
+        run = get_algorithm("MC").fs_run(reference)
+        values = run.values
+        for v in range(reference.num_nodes):
+            incoming = [values[u] for u, _ in reference.in_neigh(v)]
+            assert values[v] >= max(incoming, default=values[v])
+            assert values[v] >= v
+
+
+class TestPR:
+    def test_fixpoint_equation_holds(self, graph_pair):
+        reference, _ = graph_pair
+        run = get_algorithm("PR").fs_run(reference)
+        values = run.values
+        n = reference.num_nodes
+        for v in range(n):
+            expected = 0.15 / n + 0.85 * sum(
+                values[u] / reference.out_degree(u)
+                for u, _ in reference.in_neigh(v)
+            )
+            assert values[v] == pytest.approx(expected, abs=1e-5)
+
+    def test_ranks_positive(self, graph_pair):
+        reference, _ = graph_pair
+        run = get_algorithm("PR").fs_run(reference)
+        assert (run.values[: reference.num_nodes] > 0).all()
+
+    def test_hub_outranks_leaf(self):
+        # A vertex with many in-edges outranks one with none.
+        from repro.graph import EdgeBatch
+
+        reference = ReferenceGraph(10, directed=True)
+        reference.update(
+            EdgeBatch.from_edges([(i, 9) for i in range(8)] + [(9, 8)])
+        )
+        run = get_algorithm("PR").fs_run(reference)
+        assert run.values[9] > run.values[0]
+
+
+class TestRunRecords:
+    def test_fs_records_iterations(self, graph_pair):
+        reference, _ = graph_pair
+        for name in ("BFS", "CC", "MC", "PR", "SSSP", "SSWP"):
+            run = get_algorithm(name).fs_run(reference, source=SOURCE)
+            assert run.model == "FS"
+            assert run.iteration_count >= 1
+            assert run.total_evaluations >= 0
+            assert run.linear_scans >= 1
+
+    def test_sync_runs_pull_everyone(self, graph_pair):
+        reference, _ = graph_pair
+        run = get_algorithm("CC").fs_run(reference)
+        assert all(
+            len(it.pull_vertices) == reference.num_nodes for it in run.iterations
+        )
+
+    def test_frontier_runs_push_only(self, graph_pair):
+        reference, _ = graph_pair
+        run = get_algorithm("BFS").fs_run(reference, source=SOURCE)
+        assert all(len(it.pull_vertices) == 0 for it in run.iterations)
+        assert run.iterations[0].push_vertices.tolist() == [SOURCE]

@@ -1,0 +1,89 @@
+"""Tests for the CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.analysis import run_hardware_profile, run_software_profile
+from repro.analysis.export import export_hardware_profile, export_software_profile
+from repro.sim.machine import MachineConfig
+from repro.streaming import StreamConfig
+from tests.conftest import SMALL_MACHINE
+
+
+@pytest.fixture(scope="module")
+def software_profile():
+    return run_software_profile(
+        datasets=["Talk"],
+        config=StreamConfig(
+            batch_size=600,
+            machine=SMALL_MACHINE,
+            structures=("AS", "DAH"),
+            algorithms=("BFS",),
+        ),
+        size_factor=0.1,
+    )
+
+
+@pytest.fixture(scope="module")
+def hardware_profile():
+    return run_hardware_profile(
+        machine=SMALL_MACHINE,
+        core_counts=(2, 4),
+        short_tailed=("LJ",),
+        heavy_tailed=("Talk",),
+        algorithms=("BFS",),
+        batch_size=600,
+        size_factor=0.1,
+        trace_cap=5000,
+    )
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestSoftwareExport:
+    def test_rows_cover_matrix(self, software_profile, tmp_path):
+        path = export_software_profile(software_profile, tmp_path / "sw.csv")
+        rows = read_csv(path)
+        series = {row["series"] for row in rows}
+        assert series == {"update", "compute", "batch"}
+        stages = {row["stage"] for row in rows}
+        assert stages == {"P1", "P2", "P3"}
+        # update rows: 2 structures x 3 stages; compute/batch:
+        # 1 alg x 2 models x 2 structures x 3 stages x 2 series.
+        assert len(rows) == 2 * 3 + 1 * 2 * 2 * 3 * 2
+
+    def test_values_parse_as_floats(self, software_profile, tmp_path):
+        path = export_software_profile(software_profile, tmp_path / "sw.csv")
+        for row in read_csv(path):
+            assert float(row["mean_seconds"]) >= 0.0
+            assert float(row["ci_seconds"]) >= 0.0
+            assert int(row["samples"]) > 0
+
+    def test_creates_parent_dirs(self, software_profile, tmp_path):
+        path = export_software_profile(
+            software_profile, tmp_path / "deep" / "dir" / "sw.csv"
+        )
+        assert path.exists()
+
+
+class TestHardwareExport:
+    def test_rows_cover_counters_and_scaling(self, hardware_profile, tmp_path):
+        path = export_hardware_profile(hardware_profile, tmp_path / "hw.csv")
+        rows = read_csv(path)
+        kinds = {row["kind"] for row in rows}
+        assert "scaling" in kinds
+        assert "l2_hit_ratio" in kinds
+        assert "memory_bandwidth" in kinds
+        groups = {row["group"] for row in rows}
+        assert groups == {"STail", "HTail"}
+
+    def test_scaling_rows_have_core_keys(self, hardware_profile, tmp_path):
+        path = export_hardware_profile(hardware_profile, tmp_path / "hw.csv")
+        scaling = [row for row in read_csv(path) if row["kind"] == "scaling"]
+        assert {row["key"] for row in scaling} == {"2", "4"}
+        for row in scaling:
+            assert float(row["value"]) > 0

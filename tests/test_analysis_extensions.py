@@ -1,0 +1,72 @@
+"""Tests for the memory-footprint and batch-size sensitivity studies."""
+
+import pytest
+
+from repro.analysis.memory_report import (
+    FootprintSample,
+    render_memory_report,
+    run_memory_report,
+)
+from repro.analysis.sensitivity import (
+    render_sensitivity,
+    run_batch_size_sensitivity,
+)
+
+
+@pytest.fixture(scope="module")
+def memory_report():
+    return run_memory_report("Talk", batch_size=800, seed=1, size_factor=0.15)
+
+
+@pytest.fixture(scope="module")
+def sensitivity():
+    return run_batch_size_sensitivity(
+        "Talk", batch_sizes=(300, 900, 2700), seed=1, size_factor=0.15
+    )
+
+
+class TestMemoryReport:
+    def test_all_structures_sampled(self, memory_report):
+        assert set(memory_report.series) == {"AS", "AC", "Stinger", "DAH"}
+
+    def test_footprint_grows_with_stream(self, memory_report):
+        for samples in memory_report.series.values():
+            assert samples[-1].live_bytes > samples[0].live_bytes
+            assert samples[-1].edges > samples[0].edges
+
+    def test_bytes_per_edge_bounded(self, memory_report):
+        for name, value in memory_report.final_bytes_per_edge().items():
+            # Two 8-byte directions minimum; generous slack ceiling.
+            assert 16 <= value < 4000, (name, value)
+
+    def test_sample_math(self):
+        sample = FootprintSample(batch_index=0, edges=100, live_bytes=3200)
+        assert sample.bytes_per_edge == 32.0
+        assert FootprintSample(0, 0, 10).bytes_per_edge == 0.0
+
+    def test_render(self, memory_report):
+        text = render_memory_report([memory_report])
+        assert "Talk" in text and "B/edge" in text
+
+
+class TestSensitivity:
+    def test_matrix_complete(self, sensitivity):
+        for name, series in sensitivity.totals.items():
+            assert set(series) == {300, 900, 2700}
+            assert all(v > 0 for v in series.values())
+
+    def test_best_batch_size_is_member(self, sensitivity):
+        for name in sensitivity.totals:
+            assert sensitivity.best_batch_size(name) in (300, 900, 2700)
+
+    def test_chunked_structures_prefer_bigger_batches(self, sensitivity):
+        """Routing amortization: AC/DAH total latency falls with batch
+        size (each chunk scans the whole batch once per batch)."""
+        for name in ("AC", "DAH"):
+            series = sensitivity.totals[name]
+            assert series[2700] < series[300], (name, series)
+
+    def test_render(self, sensitivity):
+        text = render_sensitivity([sensitivity])
+        assert "Batch-size sensitivity" in text
+        assert "best batch size" in text

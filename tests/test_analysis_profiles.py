@@ -1,0 +1,151 @@
+"""Integration tests for the software and hardware profiling harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import degree_table, run_hardware_profile, run_software_profile
+from repro.analysis.report import (
+    render_fig6,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.analysis.software_profile import STAGES
+from repro.errors import SimulationError
+from repro.streaming import StreamConfig
+from tests.conftest import SMALL_MACHINE
+
+
+@pytest.fixture(scope="module")
+def profile():
+    config = StreamConfig(
+        batch_size=700,
+        machine=SMALL_MACHINE,
+        structures=("AS", "DAH"),
+        algorithms=("BFS", "CC"),
+    )
+    return run_software_profile(
+        datasets=["LJ", "Talk"], config=config, size_factor=0.1
+    )
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return run_hardware_profile(
+        machine=SMALL_MACHINE,
+        core_counts=(2, 4, 8),
+        algorithms=("BFS", "CC"),
+        short_tailed=("LJ",),
+        heavy_tailed=("Talk",),
+        batch_size=700,
+        size_factor=0.1,
+        trace_cap=20_000,
+    )
+
+
+class TestSoftwareProfile:
+    def test_table3_covers_matrix(self, profile):
+        table = profile.table3()
+        assert set(table) == {
+            (algorithm, dataset)
+            for algorithm in ("BFS", "CC")
+            for dataset in ("LJ", "Talk")
+        }
+        for cells in table.values():
+            assert len(cells) == 3
+            for cell, stage in zip(cells, STAGES):
+                assert cell.stage == stage
+                assert cell.latency_seconds > 0
+                assert "+" in cell.label
+
+    def test_best_is_minimal(self, profile):
+        cell = profile.best_combination("BFS", "LJ", stage=2)
+        result = profile.results["LJ"]
+        for model in result.models:
+            for structure in result.structures:
+                stats = profile._stats("LJ", "batch", "BFS", model, structure)
+                assert cell.best.stat.mean <= stats[2].mean + 1e-12
+
+    def test_fig6_as_baseline_is_one(self, profile):
+        ratios = profile.fig6("BFS", "Talk", stage=2)
+        for series in ("batch", "update", "compute"):
+            assert ratios[series]["AS"] == pytest.approx(1.0)
+
+    def test_fig7_ratios_positive(self, profile):
+        for dataset in ("LJ", "Talk"):
+            ratios = profile.fig7("CC", dataset)
+            assert len(ratios) == 3
+            assert all(r > 0 for r in ratios)
+
+    def test_fig8_shares_in_unit_interval(self, profile):
+        for dataset in ("LJ", "Talk"):
+            shares = profile.fig8("BFS", dataset)
+            assert all(0 <= s <= 1 for s in shares)
+
+    def test_unknown_dataset_rejected(self, profile):
+        with pytest.raises(SimulationError):
+            profile.best_combination("BFS", "Orkut", 0)
+
+    def test_renderers_produce_text(self, profile):
+        assert "Table III" in render_table3(profile)
+        assert "Fig. 6" in render_fig6(profile)
+        assert "Fig. 7" in render_fig7(profile)
+        assert "Fig. 8" in render_fig8(profile)
+        assert "BFS" in render_table1()
+        assert "LJ" in render_table2()
+
+
+class TestHardwareProfile:
+    def test_groups_present(self, hardware):
+        assert set(hardware.groups) == {"STail", "HTail"}
+        assert hardware["STail"].structure == "AS"
+        assert hardware["HTail"].structure == "DAH"
+
+    def test_scaling_performance_baseline(self, hardware):
+        for group in hardware.groups.values():
+            for phase in ("update", "compute"):
+                performance = group.scaling_performance(phase)
+                cores = sorted(performance)
+                assert performance[cores[0]] == pytest.approx(1.0)
+                # More cores never hurt by more than scheduling noise.
+                assert performance[cores[-1]] >= 0.9
+
+    def test_counters_sane(self, hardware):
+        for group in hardware.groups.values():
+            for phase in ("update", "compute"):
+                for stage in range(3):
+                    l2 = group.stage_counter(phase, stage, "l2_hit_ratio")
+                    llc = group.stage_counter(phase, stage, "llc_hit_ratio")
+                    assert 0.0 <= l2 <= 1.0
+                    assert 0.0 <= llc <= 1.0
+                    bandwidth = group.stage_counter(phase, stage, "memory_bandwidth")
+                    assert bandwidth >= 0.0
+                    qpi = group.stage_counter(phase, stage, "qpi_utilization")
+                    assert 0.0 <= qpi <= 1.0
+
+    def test_unknown_group_rejected(self, hardware):
+        with pytest.raises(SimulationError):
+            hardware["MTail"]
+
+    def test_renderers_produce_text(self, hardware):
+        assert "Fig. 9" in render_fig9(hardware)
+        assert "Fig. 10" in render_fig10(hardware)
+
+
+class TestDegreeTable:
+    def test_rows_for_all_datasets(self):
+        rows = degree_table(size_factor=0.2, batch_size=1000)
+        assert set(rows) == {"LJ", "Orkut", "RMAT", "Wiki", "Talk"}
+        for row in rows.values():
+            assert row.max_in >= row.batch_max_in
+            assert row.max_out >= row.batch_max_out
+
+    def test_render(self):
+        rows = degree_table(names=["Talk"], size_factor=0.2, batch_size=1000)
+        text = render_table4(rows)
+        assert "Talk" in text and "Table IV" in text

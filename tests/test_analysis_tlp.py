@@ -1,0 +1,66 @@
+"""Tests for the TLP (contention vs imbalance) diagnosis."""
+
+import pytest
+
+from repro.analysis.tlp import TLPSample, render_tlp, run_tlp_report
+from repro.graph import ExecutionContext
+from tests.conftest import SMALL_MACHINE
+
+
+@pytest.fixture(scope="module")
+def reports():
+    ctx = ExecutionContext(machine=SMALL_MACHINE)
+    kwargs = dict(batch_size=900, seed=2, size_factor=0.3, ctx=ctx)
+    return {
+        ("Talk", "AS"): run_tlp_report("Talk", "AS", **kwargs),
+        ("Talk", "DAH"): run_tlp_report("Talk", "DAH", **kwargs),
+        ("LJ", "AS"): run_tlp_report("LJ", "AS", **kwargs),
+    }
+
+
+class TestDiagnosis:
+    def test_heavy_tailed_as_waits_on_locks(self, reports):
+        """The paper's cause #1: contention on AS for hot vertices."""
+        heavy = reports[("Talk", "AS")]
+        short = reports[("LJ", "AS")]
+        assert heavy.mean("lock_wait_share") > short.mean("lock_wait_share")
+        assert heavy.mean("contended_acquires") > 0
+
+    def test_heavy_tailed_dah_is_imbalanced_not_contended(self, reports):
+        """The paper's cause #2: imbalance on DAH (chunks are lockless)."""
+        dah = reports[("Talk", "DAH")]
+        assert dah.mean("lock_wait_share") == 0.0
+        assert dah.mean("imbalance") > 1.25
+
+    def test_dah_imbalance_exceeds_short_tailed_as(self, reports):
+        assert (
+            reports[("Talk", "DAH")].mean("imbalance")
+            > reports[("LJ", "AS")].mean("imbalance")
+        )
+
+    def test_speedup_bounded_by_threads(self, reports):
+        for report in reports.values():
+            assert 0 < report.mean("speedup") <= report.threads
+
+    def test_utilization_in_unit_interval(self, reports):
+        for report in reports.values():
+            assert 0.0 < report.mean("utilization") <= 1.0
+
+
+class TestRendering:
+    def test_render(self, reports):
+        text = render_tlp(list(reports.values()))
+        assert "TLP diagnosis" in text
+        assert "lock-wait" in text
+        assert "Talk" in text
+
+    def test_sample_fields(self):
+        sample = TLPSample(
+            batch_index=0,
+            speedup=4.0,
+            utilization=0.5,
+            lock_wait_share=0.1,
+            contended_acquires=3,
+            imbalance=2.0,
+        )
+        assert sample.speedup == 4.0

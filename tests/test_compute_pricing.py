@@ -1,0 +1,120 @@
+"""Unit tests for per-structure compute pricing."""
+
+import numpy as np
+import pytest
+
+from repro.compute.pricing import price_compute_run
+from repro.compute.stats import ComputeRun, IterationStats
+from repro.errors import StructureError
+from repro.graph import STRUCTURES, ExecutionContext
+from tests.conftest import SMALL_MACHINE
+
+
+def make_run(pull_iterations, push_iterations=(), linear_scans=0):
+    run = ComputeRun(algorithm="X", model="FS", values=np.zeros(1))
+    for pull in pull_iterations:
+        run.iterations.append(IterationStats.make(pull=pull))
+    for push in push_iterations:
+        run.iterations.append(IterationStats.make(push=push))
+    run.linear_scans = linear_scans
+    return run
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext(machine=SMALL_MACHINE, threads=4)
+
+
+DEGREES = np.array([2, 8, 30, 1, 0], dtype=np.int64)
+
+
+class TestPricing:
+    def test_unknown_structure(self, ctx):
+        with pytest.raises(StructureError):
+            price_compute_run(make_run([[0]]), "CSR", DEGREES, DEGREES, ctx)
+
+    def test_empty_run_prices_only_scans(self, ctx):
+        run = make_run([], linear_scans=2)
+        pricing = price_compute_run(run, "AS", DEGREES, DEGREES, ctx)
+        expected = 2 * len(DEGREES) * ctx.cost_model.probe_element
+        assert pricing.total_work_cycles == pytest.approx(expected)
+
+    def test_latency_positive_for_work(self, ctx):
+        run = make_run([[0, 1, 2]])
+        pricing = price_compute_run(run, "AS", DEGREES, DEGREES, ctx)
+        assert pricing.latency_cycles > 0
+        assert pricing.latency_seconds(SMALL_MACHINE) > 0
+
+    def test_more_iterations_cost_more(self, ctx):
+        one = price_compute_run(make_run([[0, 1]]), "AS", DEGREES, DEGREES, ctx)
+        two = price_compute_run(
+            make_run([[0, 1], [0, 1]]), "AS", DEGREES, DEGREES, ctx
+        )
+        assert two.latency_cycles > one.latency_cycles
+
+    def test_dah_costs_more_than_as(self, ctx):
+        run = make_run([[0, 1, 2, 3]])
+        dah = price_compute_run(run, "DAH", DEGREES, DEGREES, ctx)
+        adjacency = price_compute_run(run, "AS", DEGREES, DEGREES, ctx)
+        assert dah.latency_cycles > adjacency.latency_cycles
+
+    def test_pr_degree_queries_hit_dah_hardest(self, ctx):
+        """Section V-B: the PR normalization is extra painful on DAH."""
+        run = make_run([[2]])  # degree-30 vertex
+        ratios = {}
+        for structure in STRUCTURES:
+            plain = price_compute_run(run, structure, DEGREES, DEGREES, ctx)
+            pr = price_compute_run(
+                run, structure, DEGREES, DEGREES, ctx, neighbor_degree_query=True
+            )
+            ratios[structure] = pr.latency_cycles / plain.latency_cycles
+        assert ratios["DAH"] > ratios["AS"]
+        assert ratios["DAH"] > ratios["Stinger"]
+
+    def test_push_side_priced(self, ctx):
+        quiet = price_compute_run(make_run([[0]]), "AS", DEGREES, DEGREES, ctx)
+        noisy = price_compute_run(
+            make_run([[0]], push_iterations=[[2]]), "AS", DEGREES, DEGREES, ctx
+        )
+        assert noisy.latency_cycles > quiet.latency_cycles
+
+    def test_threads_reduce_latency(self):
+        run = make_run([list(range(5)) * 20])
+        slow = price_compute_run(
+            run, "AS", DEGREES, DEGREES,
+            ExecutionContext(machine=SMALL_MACHINE, threads=1),
+        )
+        fast = price_compute_run(
+            run, "AS", DEGREES, DEGREES,
+            ExecutionContext(machine=SMALL_MACHINE, threads=8),
+        )
+        assert fast.latency_cycles < slow.latency_cycles
+
+    @pytest.mark.parametrize("structure", sorted(STRUCTURES))
+    def test_work_scales_with_degree(self, ctx, structure):
+        low = price_compute_run(make_run([[3]]), structure, DEGREES, DEGREES, ctx)
+        high = price_compute_run(make_run([[2]]), structure, DEGREES, DEGREES, ctx)
+        assert high.total_work_cycles > low.total_work_cycles
+
+
+class TestVectorScalarConsistency:
+    """The vectorized cost formulas must match the live structures."""
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_consistency(self, name):
+        from repro.graph import EdgeBatch, make_structure
+        from repro.sim.cost_model import DEFAULT_COST_MODEL
+
+        structure = make_structure(name, 64)
+        edges = [(0, v + 1) for v in range(30)] + [(1, 40), (2, 41), (2, 42)]
+        structure.update(
+            EdgeBatch.from_edges(edges), ExecutionContext(machine=SMALL_MACHINE)
+        )
+        degrees = np.array(
+            [structure.out_degree(v) for v in range(4)], dtype=np.float64
+        )
+        vector = type(structure).vector_traversal_cost(degrees, DEFAULT_COST_MODEL)
+        for v in range(4):
+            assert structure.out_traversal_cost(v) == pytest.approx(vector[v]), (
+                f"{name} vertex {v}"
+            )

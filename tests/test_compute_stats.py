@@ -1,0 +1,37 @@
+"""Unit tests for the compute-run records."""
+
+import numpy as np
+
+from repro.compute.stats import ComputeRun, IterationStats
+
+
+class TestIterationStats:
+    def test_make_coerces_arrays(self):
+        it = IterationStats.make(pull=[1, 2], push=(3,), pushes=1, cas_ops=2)
+        assert it.pull_vertices.dtype == np.int64
+        assert list(it.pull_vertices) == [1, 2]
+        assert list(it.push_vertices) == [3]
+        assert it.evaluations == 2
+
+    def test_empty_defaults(self):
+        it = IterationStats.make()
+        assert it.evaluations == 0
+        assert it.pushes == 0
+        assert len(it.push_vertices) == 0
+
+
+class TestComputeRun:
+    def test_aggregates(self):
+        run = ComputeRun(algorithm="X", model="INC", values=np.zeros(3))
+        run.iterations.append(IterationStats.make(pull=[0, 1], pushes=2))
+        run.iterations.append(IterationStats.make(pull=[2], pushes=1))
+        assert run.total_evaluations == 3
+        assert run.total_pushes == 3
+        assert run.iteration_count == 2
+
+    def test_defaults(self):
+        run = ComputeRun(algorithm="X", model="FS", values=np.zeros(1))
+        assert run.converged
+        assert run.linear_scans == 0
+        assert run.source is None
+        assert run.total_evaluations == 0

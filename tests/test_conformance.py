@@ -1,0 +1,98 @@
+"""Tests for the paper-claim conformance checker."""
+
+import pytest
+
+from repro.analysis import run_hardware_profile, run_software_profile
+from repro.analysis.conformance import (
+    ClaimResult,
+    check_hardware_claims,
+    check_software_claims,
+    conformance_report,
+    render_conformance,
+)
+from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
+from repro.streaming import StreamConfig
+
+
+@pytest.fixture(scope="module")
+def software_profile():
+    # Mid-size: big enough for the qualitative claims to hold.
+    return run_software_profile(
+        datasets=["LJ", "Talk"],
+        config=StreamConfig(batch_size=1500),
+        size_factor=0.6,
+    )
+
+
+@pytest.fixture(scope="module")
+def hardware_profile():
+    return run_hardware_profile(
+        machine=SCALED_SKYLAKE_GOLD_6142,
+        core_counts=(4, 8, 16),
+        short_tailed=("LJ",),
+        heavy_tailed=("Talk",),
+        algorithms=("BFS", "CC"),
+        batch_size=1500,
+        size_factor=0.6,
+        trace_cap=15_000,
+    )
+
+
+class TestSoftwareClaims:
+    def test_all_claims_have_measurements(self, software_profile):
+        results = check_software_claims(software_profile)
+        assert len(results) >= 4
+        for result in results:
+            assert result.measured
+            assert result.source
+            assert isinstance(result.passed, bool)
+
+    def test_headline_claims_pass(self, software_profile):
+        results = {r.claim_id: r for r in check_software_claims(software_profile)}
+        assert results["heavy-tail-flip"].passed, results["heavy-tail-flip"]
+        assert results["inc-predominant"].passed
+        assert results["update-share-40pc"].passed
+
+
+class TestHardwareClaims:
+    def test_all_claims_checked(self, hardware_profile):
+        results = check_hardware_claims(hardware_profile)
+        assert {r.claim_id for r in results} == {
+            "update-scales-worse",
+            "htail-update-worst-scaler",
+            "htail-update-starves-bandwidth",
+            "compute-owns-llc",
+            "update-owns-l2",
+        }
+
+    def test_cache_claims_pass(self, hardware_profile):
+        results = {r.claim_id: r for r in check_hardware_claims(hardware_profile)}
+        assert results["compute-owns-llc"].passed, results["compute-owns-llc"]
+        assert results["update-owns-l2"].passed, results["update-owns-l2"]
+
+
+class TestReport:
+    def test_combined_report(self, software_profile, hardware_profile):
+        results = conformance_report(software_profile, hardware_profile)
+        text = render_conformance(results)
+        assert "conformance" in text
+        assert "PASS" in text
+        assert "Fig. 6(b)" in text and "Fig. 10" in text
+
+    def test_partial_report(self, software_profile):
+        results = conformance_report(software=software_profile)
+        assert all("Fig. 9" not in r.source for r in results)
+
+    def test_render_marks_failures(self):
+        failing = [
+            ClaimResult(
+                claim_id="x",
+                source="Fig. 0",
+                statement="impossible",
+                measured="nothing",
+                passed=False,
+            )
+        ]
+        text = render_conformance(failing)
+        assert "FAIL" in text
+        assert "0/1 upheld" in text

@@ -1,0 +1,153 @@
+"""Unit tests for hardware-profile internals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hardware_profile import (
+    GroupProfile,
+    HardwareProfiler,
+    PhaseSample,
+    _average_counters,
+    _synthetic_schedule,
+)
+from repro.errors import SimulationError
+from repro.sim.counters import PhaseCounters
+from repro.sim.machine import MachineConfig
+
+
+def counters(**overrides):
+    defaults = dict(
+        seconds=1.0,
+        instructions=1e6,
+        l2_hit_ratio=0.5,
+        llc_hit_ratio=0.5,
+        l2_mpki=10.0,
+        llc_mpki=5.0,
+        memory_bytes=1e6,
+        memory_bandwidth=1e9,
+        memory_bw_utilization=0.1,
+        qpi_bytes=1e5,
+        qpi_bandwidth=1e8,
+        qpi_utilization=0.05,
+    )
+    defaults.update(overrides)
+    return PhaseCounters(**defaults)
+
+
+class TestAverageCounters:
+    def test_mean_of_fields(self):
+        merged = _average_counters(
+            [counters(l2_hit_ratio=0.2), counters(l2_hit_ratio=0.8)]
+        )
+        assert merged.l2_hit_ratio == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            _average_counters([])
+
+    def test_single_identity(self):
+        one = counters()
+        assert _average_counters([one]) == one
+
+
+class TestSyntheticSchedule:
+    def test_shape(self):
+        schedule = _synthetic_schedule(100.0, 500.0, threads=8)
+        assert schedule.makespan_cycles == 100.0
+        assert schedule.total_work_cycles == 500.0
+        assert schedule.threads == 8
+
+
+class TestGroupProfile:
+    def _profile(self):
+        profile = GroupProfile(
+            group="G",
+            structure="AS",
+            datasets=("A",),
+            scaling_cycles={
+                "update": {4: 100.0, 8: 60.0},
+                "compute": {4: 100.0, 8: 50.0},
+            },
+        )
+        profile.batches_per_dataset["A"] = 3
+        for index in range(3):
+            profile.samples["update"].append(
+                PhaseSample(index, counters(l2_mpki=float(index)))
+            )
+            profile.samples["compute"].append(
+                PhaseSample(index, counters(l2_mpki=10.0 + index))
+            )
+        return profile
+
+    def test_scaling_performance_normalized(self):
+        profile = self._profile()
+        perf = profile.scaling_performance("update")
+        assert perf[4] == pytest.approx(1.0)
+        assert perf[8] == pytest.approx(100.0 / 60.0)
+
+    def test_stage_counter_pools_stage_batches(self):
+        profile = self._profile()
+        # 3 batches over 3 stages: one batch each.
+        assert profile.stage_counter("update", 0, "l2_mpki") == 0.0
+        assert profile.stage_counter("update", 2, "l2_mpki") == 2.0
+        assert profile.stage_counter("compute", 1, "l2_mpki") == 11.0
+
+    def test_stage_counter_empty_rejected(self):
+        profile = GroupProfile(group="G", structure="AS", datasets=())
+        with pytest.raises(SimulationError):
+            profile.stage_counter("update", 0, "l2_mpki")
+
+
+class TestProfilerSmall:
+    def test_single_dataset_profile(self):
+        machine = MachineConfig(
+            sockets=2,
+            cores_per_socket=2,
+            l1d_bytes=2 * 1024,
+            l2_bytes=16 * 1024,
+            llc_bytes_per_socket=128 * 1024,
+            llc_ways=16,
+        )
+        profiler = HardwareProfiler(
+            machine=machine,
+            core_counts=(2, 4),
+            algorithms=("BFS",),
+            batch_size=400,
+            trace_cap=5_000,
+            seed=2,
+        )
+        profile = profiler.profile_group("T", ["Talk"], "DAH", size_factor=0.08)
+        assert profile.batches_per_dataset["Talk"] >= 1
+        assert len(profile.samples["update"]) == len(profile.samples["compute"])
+        perf = profile.scaling_performance("update")
+        assert perf[2] == pytest.approx(1.0)
+
+
+class TestPrefetchOption:
+    def test_prefetch_profile_runs_and_changes_l2(self):
+        machine = MachineConfig(
+            sockets=2,
+            cores_per_socket=2,
+            l1d_bytes=2 * 1024,
+            l2_bytes=16 * 1024,
+            llc_bytes_per_socket=128 * 1024,
+            llc_ways=16,
+        )
+        kwargs = dict(
+            machine=machine,
+            core_counts=(2,),
+            algorithms=("BFS",),
+            batch_size=400,
+            trace_cap=5_000,
+            seed=2,
+        )
+        plain = HardwareProfiler(**kwargs).profile_group(
+            "T", ["Talk"], "AS", size_factor=0.1
+        )
+        fetched = HardwareProfiler(prefetch=True, **kwargs).profile_group(
+            "T", ["Talk"], "AS", size_factor=0.1
+        )
+        base = plain.stage_counter("update", 2, "l2_hit_ratio")
+        boosted = fetched.stage_counter("update", 2, "l2_hit_ratio")
+        # The streamer can only help (sequential scans abound).
+        assert boosted >= base

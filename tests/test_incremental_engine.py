@@ -1,0 +1,123 @@
+"""Unit tests for the Algorithm-1 engine itself."""
+
+import numpy as np
+import pytest
+
+from repro.compute.incremental import run_incremental
+from repro.compute.state import AlgorithmState
+from repro.errors import SimulationError, StructureError
+from repro.graph import EdgeBatch, ReferenceGraph
+
+
+def chain(n=5):
+    """0 -> 1 -> 2 -> ... -> n-1."""
+    reference = ReferenceGraph(n, directed=True)
+    reference.update(EdgeBatch.from_edges([(i, i + 1) for i in range(n - 1)]))
+    return reference
+
+
+class TestEngine:
+    def test_propagates_along_chain(self):
+        reference = chain(5)
+        values = np.array([0.0, 10.0, 10.0, 10.0, 10.0])
+
+        def recalc(v):
+            best = values[v]
+            for u, _ in reference.in_neigh(v):
+                best = min(best, values[u] + 1)
+            return best
+
+        run = run_incremental(reference, values, [1], recalc, algorithm="test")
+        assert values.tolist() == [0, 1, 2, 3, 4]
+        # One round per hop down the chain.
+        assert run.iteration_count == 4
+
+    def test_epsilon_suppresses_small_changes(self):
+        reference = chain(3)
+        values = np.array([0.0, 1.0, 2.0])
+
+        def recalc(v):
+            return values[v] - 1e-9  # tiny drift
+
+        run = run_incremental(
+            reference, values, [0, 1, 2], recalc, algorithm="t", epsilon=1e-7
+        )
+        assert run.iteration_count == 1
+        assert len(run.iterations[0].push_vertices) == 0
+
+    def test_visited_guard_deduplicates_queue(self):
+        # Two triggered vertices share an out-neighbor: queued once.
+        reference = ReferenceGraph(4, directed=True)
+        reference.update(EdgeBatch.from_edges([(0, 2), (1, 2), (2, 3)]))
+        values = np.array([5.0, 5.0, 0.0, 0.0])
+
+        def recalc(v):
+            return values[v] + 1.0  # always changes -> always triggers
+
+        run = run_incremental(
+            reference, values, [0, 1], recalc, algorithm="t", max_rounds=3
+        )
+        first = run.iterations[0]
+        assert first.pushes == 1  # vertex 2 queued once
+        assert first.cas_ops == 2  # but CASed twice
+
+    def test_divergent_function_hits_round_guard(self):
+        # A cycle keeps re-triggering a divergent vertex function.
+        reference = ReferenceGraph(3, directed=True)
+        reference.update(EdgeBatch.from_edges([(0, 1), (1, 2), (2, 0)]))
+        values = np.zeros(3)
+
+        def recalc(v):
+            return values[v] + 1.0
+
+        with pytest.raises(SimulationError):
+            run_incremental(
+                reference, values, [0], recalc, algorithm="t", max_rounds=5
+            )
+
+    def test_linear_scans_recorded(self):
+        reference = chain(3)
+        values = np.zeros(3)
+        run = run_incremental(reference, values, [], lambda v: values[v], "t")
+        assert run.linear_scans == 2
+
+    def test_affected_outside_graph_ignored(self):
+        reference = chain(3)
+        values = np.zeros(3)
+        run = run_incremental(
+            reference, values, [99], lambda v: values[v], algorithm="t"
+        )
+        assert run.iteration_count == 0
+
+
+class TestAlgorithmState:
+    def test_lazy_initialization(self):
+        state = AlgorithmState(10, lambda ids: ids * 2.0)
+        assert state.initialized_up_to == 0
+        fresh = state.ensure_initialized(4)
+        assert fresh == 4
+        assert state.values[3] == 6.0
+
+    def test_existing_values_preserved(self):
+        state = AlgorithmState(10, lambda ids: np.zeros(len(ids)))
+        state.ensure_initialized(4)
+        state.values[2] = 42.0
+        assert state.ensure_initialized(6) == 2
+        assert state.values[2] == 42.0  # amortization: kept
+        assert state.values[5] == 0.0
+
+    def test_capacity_enforced(self):
+        state = AlgorithmState(4, lambda ids: np.zeros(len(ids)))
+        with pytest.raises(StructureError):
+            state.ensure_initialized(5)
+
+    def test_reinitialize(self):
+        state = AlgorithmState(4, lambda ids: np.full(len(ids), 7.0))
+        state.ensure_initialized(4)
+        state.values[:] = 0.0
+        state.reinitialize()
+        assert (state.values == 7.0).all()
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(StructureError):
+            AlgorithmState(0, lambda ids: ids)

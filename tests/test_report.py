@@ -1,0 +1,77 @@
+"""Unit tests for the table/figure renderers."""
+
+import pytest
+
+from repro.analysis.degrees import DegreeRow
+from repro.analysis.report import (
+    VERTEX_FUNCTIONS,
+    render_table1,
+    render_table2,
+    render_table4,
+)
+
+
+class TestTable1:
+    def test_all_six_functions(self):
+        assert set(VERTEX_FUNCTIONS) == {"BFS", "CC", "MC", "PR", "SSSP", "SSWP"}
+
+    def test_render_contains_formulas(self):
+        text = render_table1()
+        assert "min over InEdges(v)" in text
+        assert "0.15/|V|" in text
+        assert "e.weight" in text
+
+    def test_header(self):
+        assert render_table1().startswith("Table I")
+
+
+class TestTable2:
+    def test_contains_all_datasets(self):
+        text = render_table2()
+        for name in ("LJ", "Orkut", "RMAT", "Wiki", "Talk"):
+            assert name in text
+
+    def test_paper_numbers_present(self):
+        text = render_table2()
+        assert "68,993,773" in text  # LJ's paper edge count
+        assert "500,000,000" in text  # RMAT's
+
+    def test_batch_size_parameter(self):
+        text = render_table2(batch_size=1000)
+        assert "batch size 1000" in text
+
+
+class TestTable4:
+    def _row(self, **overrides):
+        defaults = dict(
+            dataset="X",
+            max_in=10,
+            max_out=20,
+            batch_max_in=2,
+            batch_max_out=3,
+            paper_max_in=100,
+            paper_max_out=200,
+            paper_batch_max_in=4,
+            paper_batch_max_out=5,
+        )
+        defaults.update(overrides)
+        return DegreeRow(**defaults)
+
+    def test_render_marks_tails(self):
+        rows = {
+            "S": self._row(dataset="S"),
+            "H": self._row(dataset="H", batch_max_out=50),
+        }
+        text = render_table4(rows)
+        assert "short" in text
+        assert "heavy" in text
+
+    def test_paper_columns_shown(self):
+        text = render_table4({"X": self._row()})
+        assert "100/200" in text
+        assert "4/5" in text
+
+    def test_heavy_tail_threshold(self):
+        assert not self._row().heavy_tailed
+        assert self._row(batch_max_in=12).heavy_tailed
+        assert self._row(batch_max_out=12).heavy_tailed

@@ -1,0 +1,210 @@
+"""Unit and property tests for the cache hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.cache import CacheHierarchy, CacheStats, SetAssociativeCache
+from repro.sim.machine import MachineConfig
+from repro.sim.trace import MemoryTrace, TraceRecorder
+
+
+def make_trace(addresses, writes=None):
+    n = len(addresses)
+    return MemoryTrace(
+        task_ids=np.zeros(n, dtype=np.int64),
+        addresses=np.asarray(addresses, dtype=np.int64),
+        is_write=np.asarray(writes if writes is not None else [False] * n, dtype=bool),
+    )
+
+
+class TestSetAssociativeCache:
+    def test_geometry(self):
+        cache = SetAssociativeCache(size_bytes=8 * 64 * 4, ways=4, line_bytes=64)
+        assert cache.sets == 8
+        assert cache.ways == 4
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(size_bytes=1000, ways=4, line_bytes=64)
+        with pytest.raises(ConfigError):
+            SetAssociativeCache(size_bytes=0, ways=4)
+
+    def test_cold_miss_then_hit(self):
+        cache = SetAssociativeCache(size_bytes=64 * 8, ways=2, line_bytes=64)
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        # 1 set x 2 ways: third distinct line evicts the LRU one.
+        cache = SetAssociativeCache(size_bytes=64 * 2, ways=2, line_bytes=64)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # refresh 0; 1 becomes LRU
+        cache.access(2)  # evicts 1
+        assert cache.access(0) is True
+        assert cache.access(1) is False
+
+    def test_conflict_misses_in_one_set(self):
+        # Lines mapping to the same set thrash despite spare capacity.
+        cache = SetAssociativeCache(size_bytes=64 * 4 * 2, ways=2, line_bytes=64)
+        sets = cache.sets
+        for _ in range(3):
+            for k in range(3):  # 3 lines, same set, 2 ways
+                cache.access(k * sets)
+        assert cache.hits == 0
+
+    def test_reset_stats_keeps_contents(self):
+        cache = SetAssociativeCache(size_bytes=64 * 8, ways=2, line_bytes=64)
+        cache.access(3)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.access(3) is True
+
+
+class TestCacheStats:
+    def test_ratios(self):
+        stats = CacheStats(l2_hits=3, l2_misses=1, llc_hits=1, llc_misses=0)
+        assert stats.l2_hit_ratio == pytest.approx(0.75)
+        assert stats.llc_hit_ratio == pytest.approx(1.0)
+
+    def test_empty_ratios_are_zero(self):
+        stats = CacheStats()
+        assert stats.l2_hit_ratio == 0.0
+        assert stats.llc_hit_ratio == 0.0
+
+    def test_merge(self):
+        a = CacheStats(accesses=10, l1_hits=5, l1_misses=5)
+        b = CacheStats(accesses=2, l1_hits=1, l1_misses=1)
+        merged = a.merge(b)
+        assert merged.accesses == 12
+        assert merged.l1_hits == 6
+
+
+class TestHierarchy:
+    MACHINE = MachineConfig(
+        sockets=2,
+        cores_per_socket=2,
+        l1d_bytes=1024,
+        l2_bytes=4096,
+        llc_bytes_per_socket=16 * 1024,
+        llc_ways=16,
+    )
+
+    def test_level_counts_are_consistent(self):
+        hierarchy = CacheHierarchy(self.MACHINE)
+        rng = np.random.default_rng(0)
+        trace = make_trace(rng.integers(0, 1 << 20, size=500))
+        stats = hierarchy.replay(trace, np.zeros(1, dtype=np.int32))
+        assert stats.accesses == 500
+        assert stats.l1_hits + stats.l1_misses == stats.accesses
+        assert stats.l2_hits + stats.l2_misses == stats.l1_misses
+        assert stats.llc_hits + stats.llc_misses == stats.l2_misses
+        assert (
+            stats.local_memory_accesses + stats.remote_memory_accesses
+            == stats.llc_misses
+        )
+
+    def test_private_caches_are_per_core(self):
+        hierarchy = CacheHierarchy(self.MACHINE)
+        # Task 0 on thread 0 and task 1 on thread 1 touch the same line:
+        # the second access misses its own L1/L2 but hits the shared LLC.
+        trace = MemoryTrace(
+            task_ids=np.array([0, 1], dtype=np.int64),
+            addresses=np.array([128, 128], dtype=np.int64),
+            is_write=np.array([False, False]),
+        )
+        stats = hierarchy.replay(trace, np.array([0, 1], dtype=np.int32))
+        assert stats.l1_hits == 0
+        assert stats.llc_hits == 1
+
+    def test_sockets_have_separate_llcs(self):
+        hierarchy = CacheHierarchy(self.MACHINE)
+        # Threads 0 and 2 are on different sockets (2 cores per socket).
+        trace = MemoryTrace(
+            task_ids=np.array([0, 1], dtype=np.int64),
+            addresses=np.array([128, 128], dtype=np.int64),
+            is_write=np.array([False, False]),
+        )
+        stats = hierarchy.replay(trace, np.array([0, 2], dtype=np.int32))
+        assert stats.llc_hits == 0  # remote socket's LLC is cold
+
+    def test_persistence_across_replays(self):
+        hierarchy = CacheHierarchy(self.MACHINE)
+        trace = make_trace([256, 320, 384])
+        first = hierarchy.replay(trace, np.zeros(1, dtype=np.int32))
+        second = hierarchy.replay(trace, np.zeros(1, dtype=np.int32))
+        assert first.l1_hits == 0
+        assert second.l1_hits == 3  # warmed by the first replay
+
+    def test_update_then_compute_reuse(self):
+        """The Fig. 10 mechanism: compute reuses what update fetched."""
+        hierarchy = CacheHierarchy(self.MACHINE)
+        recorder = TraceRecorder()
+        for address in range(0, 8 * 64, 64):
+            recorder.access(address, write=True)
+        update_trace = recorder.finalize()
+        hierarchy.replay(update_trace, np.zeros(1, dtype=np.int32))
+        compute = hierarchy.replay(update_trace, np.zeros(1, dtype=np.int32))
+        assert compute.l1_hits + compute.l2_hits + compute.llc_hits == 8
+
+
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=300)
+)
+@settings(max_examples=40, deadline=None)
+def test_property_hit_counts_bounded(addresses):
+    """Hits never exceed re-references; totals always balance."""
+    cache = SetAssociativeCache(size_bytes=64 * 16, ways=2, line_bytes=64)
+    for address in addresses:
+        cache.access(address // 64)
+    distinct = len({a // 64 for a in addresses})
+    assert cache.hits + cache.misses == len(addresses)
+    assert cache.misses >= distinct  # at least one cold miss per line
+
+
+class TestPrefetcher:
+    MACHINE = MachineConfig(
+        sockets=1,
+        cores_per_socket=1,
+        l1d_bytes=512,
+        l1_ways=8,
+        l2_bytes=4096,
+        llc_bytes_per_socket=16 * 1024,
+        llc_ways=16,
+    )
+
+    def _sequential_trace(self, lines=40):
+        # Strided reads: one access per line, sequential addresses.
+        return make_trace([i * 64 for i in range(lines)])
+
+    def test_prefetch_helps_sequential_stream(self):
+        plain = CacheHierarchy(self.MACHINE, prefetch=False)
+        fetched = CacheHierarchy(self.MACHINE, prefetch=True)
+        thread = np.zeros(1, dtype=np.int32)
+        trace = self._sequential_trace()
+        base = plain.replay(trace, thread)
+        boosted = fetched.replay(trace, thread)
+        assert boosted.l2_hits > base.l2_hits
+        assert boosted.l2_hit_ratio > base.l2_hit_ratio
+
+    def test_prefetch_fill_not_counted_as_access(self):
+        fetched = CacheHierarchy(self.MACHINE, prefetch=True)
+        thread = np.zeros(1, dtype=np.int32)
+        stats = fetched.replay(self._sequential_trace(), thread)
+        # Demand accounting stays balanced despite the hidden fills.
+        assert stats.l2_hits + stats.l2_misses == stats.l1_misses
+
+    def test_prefetch_neutral_on_random_far_stream(self):
+        rng = np.random.default_rng(1)
+        # Lines far apart: the next-line fill is never used.
+        trace = make_trace(rng.permutation(500)[:100] * 64 * 997)
+        plain = CacheHierarchy(self.MACHINE, prefetch=False)
+        fetched = CacheHierarchy(self.MACHINE, prefetch=True)
+        thread = np.zeros(1, dtype=np.int32)
+        base = plain.replay(trace, thread)
+        boosted = fetched.replay(trace, thread)
+        assert boosted.l2_hits == base.l2_hits

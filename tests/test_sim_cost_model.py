@@ -1,0 +1,49 @@
+"""Unit tests for the cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        assert DEFAULT_COST_MODEL.probe_element > 0
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ConfigError):
+            CostModel(probe_element=-1.0)
+
+    def test_rejects_smt_speedup_below_one(self):
+        with pytest.raises(ConfigError):
+            CostModel(smt_work_scale=0.9)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_COST_MODEL.probe_element = 1.0
+
+
+class TestRelativeCosts:
+    """Sanity constraints the characterization story depends on."""
+
+    def test_pointer_chase_exceeds_probe(self):
+        # Stinger's block hopping must cost more than a contiguous probe.
+        assert DEFAULT_COST_MODEL.pointer_chase > DEFAULT_COST_MODEL.probe_element
+
+    def test_contended_lock_dominates_uncontended(self):
+        assert (
+            DEFAULT_COST_MODEL.lock_contended_penalty
+            > 5 * DEFAULT_COST_MODEL.lock_acquire
+        )
+
+    def test_hash_iterate_exceeds_vector_probe(self):
+        # DAH's sparse neighbor enumeration must be the most expensive
+        # traversal (Section V-B).
+        assert DEFAULT_COST_MODEL.hash_iterate_slot > DEFAULT_COST_MODEL.probe_element
+
+    def test_customization_by_replace(self):
+        tuned = dataclasses.replace(DEFAULT_COST_MODEL, route_edge=3.0)
+        assert tuned.route_edge == 3.0
+        assert tuned.probe_element == DEFAULT_COST_MODEL.probe_element

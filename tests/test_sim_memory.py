@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic address space."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.machine import CACHE_LINE_BYTES
+from repro.sim.memory import AddressSpace
+
+
+class TestAllocation:
+    def test_alloc_returns_region(self):
+        space = AddressSpace()
+        region = space.alloc(100, "x")
+        assert region.size == 100
+        assert region.label == "x"
+        assert region.end == region.base + 100
+
+    def test_alloc_line_aligned(self):
+        space = AddressSpace()
+        for size in (1, 63, 64, 65, 100):
+            region = space.alloc(size)
+            assert region.base % CACHE_LINE_BYTES == 0
+
+    def test_allocations_never_overlap(self):
+        space = AddressSpace()
+        regions = [space.alloc(s) for s in (10, 64, 128, 1, 4096)]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert a.end <= b.base or b.end <= a.base
+
+    def test_rejects_nonpositive_size(self):
+        space = AddressSpace()
+        with pytest.raises(SimulationError):
+            space.alloc(0)
+        with pytest.raises(SimulationError):
+            space.alloc(-5)
+
+    def test_live_byte_accounting(self):
+        space = AddressSpace()
+        a = space.alloc(100, "a")
+        b = space.alloc(50, "b")
+        assert space.live_bytes == 150
+        space.free(a)
+        assert space.live_bytes == 50
+        assert space.allocated_bytes == 150
+        assert space.live_bytes_for("a") == 0
+        assert space.live_bytes_for("b") == 50
+        space.free(b)
+
+    def test_double_free_detected(self):
+        space = AddressSpace()
+        region = space.alloc(10)
+        space.free(region)
+        with pytest.raises(SimulationError):
+            space.free(region)
+            space.free(region)
+
+
+class TestRegionElement:
+    def test_element_addresses(self):
+        space = AddressSpace()
+        region = space.alloc(80, "vec")
+        assert region.element(0, 8) == region.base
+        assert region.element(9, 8) == region.base + 72
+
+    def test_element_overrun_raises(self):
+        space = AddressSpace()
+        region = space.alloc(80, "vec")
+        with pytest.raises(SimulationError):
+            region.element(10, 8)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=50))
+def test_property_disjoint_and_accounted(sizes):
+    """Any allocation sequence yields disjoint, fully accounted regions."""
+    space = AddressSpace()
+    regions = [space.alloc(size) for size in sizes]
+    assert space.live_bytes == sum(sizes)
+    sorted_regions = sorted(regions, key=lambda r: r.base)
+    for first, second in zip(sorted_regions, sorted_regions[1:]):
+        assert first.end <= second.base

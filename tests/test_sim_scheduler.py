@@ -1,0 +1,211 @@
+"""Unit and property tests for the discrete-event scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.cost_model import CostModel
+from repro.sim.scheduler import (
+    ChunkedScheduler,
+    DynamicScheduler,
+    Task,
+    parallel_for_makespan,
+)
+
+#: A cost model with zero scheduling/lock overheads for exact checks.
+FREE = CostModel(
+    task_dispatch=0.0,
+    lock_acquire=0.0,
+    lock_release=0.0,
+    lock_contended_penalty=0.0,
+    smt_work_scale=1.0,
+)
+
+
+class TestDynamicScheduler:
+    def test_empty(self):
+        result = DynamicScheduler(4, cost_model=FREE).run([])
+        assert result.makespan_cycles == 0.0
+        assert result.task_count == 0
+
+    def test_single_task(self):
+        result = DynamicScheduler(4, cost_model=FREE).run([Task(unlocked_work=100)])
+        assert result.makespan_cycles == pytest.approx(100.0)
+
+    def test_serial_on_one_thread(self):
+        tasks = [Task(unlocked_work=10) for _ in range(7)]
+        result = DynamicScheduler(1, cost_model=FREE).run(tasks)
+        assert result.makespan_cycles == pytest.approx(70.0)
+
+    def test_perfect_parallelism_without_locks(self):
+        tasks = [Task(unlocked_work=10) for _ in range(8)]
+        result = DynamicScheduler(4, cost_model=FREE).run(tasks)
+        assert result.makespan_cycles == pytest.approx(20.0)
+
+    def test_lock_serializes_same_lock(self):
+        # Four tasks on the same lock cannot overlap their locked work.
+        tasks = [Task(unlocked_work=0, locked_work=10, lock=7) for _ in range(4)]
+        result = DynamicScheduler(4, cost_model=FREE).run(tasks)
+        assert result.makespan_cycles == pytest.approx(40.0)
+
+    def test_different_locks_run_in_parallel(self):
+        tasks = [Task(unlocked_work=0, locked_work=10, lock=i) for i in range(4)]
+        result = DynamicScheduler(4, cost_model=FREE).run(tasks)
+        assert result.makespan_cycles == pytest.approx(10.0)
+
+    def test_contended_acquire_counted_and_penalized(self):
+        cost = CostModel(
+            task_dispatch=0.0,
+            lock_acquire=0.0,
+            lock_release=0.0,
+            lock_contended_penalty=100.0,
+            smt_work_scale=1.0,
+        )
+        tasks = [Task(unlocked_work=0, locked_work=10, lock=1) for _ in range(3)]
+        result = DynamicScheduler(4, cost_model=cost).run(tasks)
+        assert result.contended_acquires == 2
+        # 10 + (100 + 10) + (100 + 10)
+        assert result.makespan_cycles == pytest.approx(230.0)
+        assert result.lock_wait_cycles > 0
+
+    def test_unlocked_portion_overlaps_lock_wait(self):
+        # Stinger's model: scans (unlocked) proceed while another task
+        # holds the block lock.
+        tasks = [
+            Task(unlocked_work=0, locked_work=100, lock=1),
+            Task(unlocked_work=100, locked_work=10, lock=1),
+        ]
+        result = DynamicScheduler(2, cost_model=FREE).run(tasks)
+        # Task 2's scan runs during task 1's locked 100 cycles.
+        assert result.makespan_cycles == pytest.approx(110.0)
+
+    def test_smt_dilates_work(self):
+        cost = CostModel(
+            task_dispatch=0.0,
+            lock_acquire=0.0,
+            lock_release=0.0,
+            smt_work_scale=1.5,
+        )
+        tasks = [Task(unlocked_work=10) for _ in range(8)]
+        plain = DynamicScheduler(4, physical_cores=4, cost_model=cost).run(tasks)
+        smt = DynamicScheduler(8, physical_cores=4, cost_model=cost).run(tasks)
+        assert plain.makespan_cycles == pytest.approx(20.0)
+        assert smt.makespan_cycles == pytest.approx(15.0)  # 10 * 1.5
+
+    def test_dispatch_overhead_charged(self):
+        cost = CostModel(
+            task_dispatch=5.0,
+            lock_acquire=0.0,
+            lock_release=0.0,
+            smt_work_scale=1.0,
+        )
+        result = DynamicScheduler(1, cost_model=cost).run([Task(unlocked_work=10)])
+        assert result.makespan_cycles == pytest.approx(15.0)
+
+    def test_rejects_bad_thread_count(self):
+        with pytest.raises(SimulationError):
+            DynamicScheduler(0)
+
+    def test_task_thread_assignment_shape(self):
+        tasks = [Task(unlocked_work=1) for _ in range(10)]
+        result = DynamicScheduler(3, cost_model=FREE).run(tasks)
+        assert result.task_thread.shape == (10,)
+        assert set(result.task_thread) <= {0, 1, 2}
+
+    def test_utilization_and_speedup(self):
+        tasks = [Task(unlocked_work=10) for _ in range(8)]
+        result = DynamicScheduler(4, cost_model=FREE).run(tasks)
+        assert result.speedup == pytest.approx(4.0)
+        assert result.utilization == pytest.approx(1.0)
+
+
+class TestChunkedScheduler:
+    def test_requires_chunks(self):
+        with pytest.raises(SimulationError):
+            ChunkedScheduler(2, cost_model=FREE).run([Task(unlocked_work=1)])
+
+    def test_chunks_map_round_robin(self):
+        tasks = [Task(unlocked_work=10, chunk=c) for c in range(4)]
+        result = ChunkedScheduler(2, cost_model=FREE).run(tasks)
+        # chunks 0, 2 -> thread 0; chunks 1, 3 -> thread 1.
+        assert result.makespan_cycles == pytest.approx(20.0)
+
+    def test_imbalance_shows_in_makespan(self):
+        # One hot chunk dominates: the heavy-tailed DAH story.
+        tasks = [Task(unlocked_work=100, chunk=0) for _ in range(10)]
+        tasks += [Task(unlocked_work=1, chunk=c) for c in range(1, 8)]
+        result = ChunkedScheduler(8, cost_model=FREE).run(tasks)
+        assert result.makespan_cycles == pytest.approx(1000.0)
+        assert result.utilization < 0.2
+
+    def test_empty(self):
+        result = ChunkedScheduler(4, cost_model=FREE).run([])
+        assert result.makespan_cycles == 0.0
+
+
+class TestParallelFor:
+    def test_empty(self):
+        result = parallel_for_makespan(np.array([]), threads=4, cost_model=FREE)
+        assert result.makespan_cycles == 0.0
+
+    def test_graham_bound(self):
+        costs = np.array([10.0] * 8)
+        result = parallel_for_makespan(costs, threads=4, cost_model=FREE)
+        # total/T + (1 - 1/T) * max = 20 + 7.5
+        assert result.makespan_cycles == pytest.approx(27.5)
+
+    def test_single_thread_is_serial(self):
+        costs = np.array([5.0, 5.0, 5.0])
+        result = parallel_for_makespan(costs, threads=1, cost_model=FREE)
+        assert result.makespan_cycles == pytest.approx(15.0)
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(SimulationError):
+            parallel_for_makespan(np.array([1.0]), threads=0)
+
+
+@st.composite
+def task_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    tasks = []
+    for _ in range(n):
+        tasks.append(
+            Task(
+                unlocked_work=draw(st.floats(min_value=0, max_value=100)),
+                locked_work=draw(st.floats(min_value=0, max_value=100)),
+                lock=draw(st.one_of(st.none(), st.integers(0, 5))),
+            )
+        )
+    return tasks
+
+
+@given(tasks=task_lists(), threads=st.integers(min_value=1, max_value=16))
+@settings(max_examples=60, deadline=None)
+def test_property_makespan_bounds(tasks, threads):
+    """Makespan is bounded below by span and total/T, above by serial."""
+    result = DynamicScheduler(threads, cost_model=FREE).run(tasks)
+    total = sum(t.total_work for t in tasks)
+    longest = max(t.total_work for t in tasks)
+    assert result.makespan_cycles >= longest - 1e-9
+    assert result.makespan_cycles >= total / threads - 1e-9
+    assert result.makespan_cycles <= total + 1e-9
+
+    # Lock-serialization lower bound: all work on one lock serializes.
+    for lock in {t.lock for t in tasks if t.lock is not None}:
+        lock_work = sum(t.locked_work for t in tasks if t.lock == lock)
+        assert result.makespan_cycles >= lock_work - 1e-9
+
+
+@given(tasks=task_lists())
+@settings(max_examples=30, deadline=None)
+def test_property_more_threads_never_slower(tasks):
+    """Adding threads never increases the greedy makespan... materially.
+
+    Greedy list scheduling is not strictly monotone, but anomalies are
+    bounded by factor 2 (Graham); assert that.
+    """
+    one = DynamicScheduler(1, cost_model=FREE).run(tasks).makespan_cycles
+    many = DynamicScheduler(8, cost_model=FREE).run(tasks).makespan_cycles
+    assert many <= one + 1e-9
+    assert one <= 8 * many + 1e-9

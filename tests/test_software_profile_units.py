@@ -1,0 +1,105 @@
+"""Unit tests for software-profile internals (labels, caching, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.software_profile import (
+    BestCombination,
+    ComboStat,
+    SoftwareProfile,
+    run_software_profile,
+)
+from repro.analysis.stats import StageStat
+from repro.errors import SimulationError
+from repro.streaming import StreamConfig
+from tests.conftest import SMALL_MACHINE
+
+
+def combo(model, structure, mean, ci=0.0):
+    return ComboStat(
+        model=model, structure=structure, stat=StageStat(mean=mean, ci=ci, count=5)
+    )
+
+
+class TestLabels:
+    def test_simple_label(self):
+        cell = BestCombination(
+            algorithm="BFS",
+            dataset="LJ",
+            stage="P3",
+            best=combo("INC", "AS", 1.0),
+            competitive=(),
+        )
+        assert cell.label == "INC+AS"
+
+    def test_competitive_label_merges_models_and_structures(self):
+        cell = BestCombination(
+            algorithm="BFS",
+            dataset="LJ",
+            stage="P3",
+            best=combo("INC", "AS", 1.0),
+            competitive=(combo("FS", "Stinger", 1.05), combo("INC", "AC", 1.1)),
+        )
+        # Paper style: INC/FS+AS/Stinger/AC.
+        assert cell.label == "INC/FS+AS/Stinger/AC"
+
+    def test_duplicates_not_repeated(self):
+        cell = BestCombination(
+            algorithm="BFS",
+            dataset="LJ",
+            stage="P1",
+            best=combo("INC", "AS", 1.0),
+            competitive=(combo("INC", "Stinger", 1.01),),
+        )
+        assert cell.label == "INC+AS/Stinger"
+
+    def test_latency_is_best_mean(self):
+        cell = BestCombination(
+            algorithm="BFS",
+            dataset="LJ",
+            stage="P1",
+            best=combo("INC", "AS", 0.42),
+            competitive=(),
+        )
+        assert cell.latency_seconds == 0.42
+
+
+@pytest.fixture(scope="module")
+def tiny_profile():
+    return run_software_profile(
+        datasets=["Talk"],
+        config=StreamConfig(
+            batch_size=500,
+            machine=SMALL_MACHINE,
+            structures=("AS", "DAH"),
+            algorithms=("CC",),
+        ),
+        size_factor=0.08,
+    )
+
+
+class TestInternals:
+    def test_stats_cached(self, tiny_profile):
+        first = tiny_profile._stats("Talk", "update", "AS")
+        second = tiny_profile._stats("Talk", "update", "AS")
+        assert first is second
+
+    def test_unknown_series_kind(self, tiny_profile):
+        with pytest.raises(SimulationError):
+            tiny_profile._stats("Talk", "latency", "AS")
+
+    def test_unknown_dataset(self, tiny_profile):
+        with pytest.raises(SimulationError):
+            tiny_profile.best_combination("CC", "LJ", 0)
+
+    def test_competitive_sorted_by_mean(self, tiny_profile):
+        cell = tiny_profile.best_combination("CC", "Talk", 2)
+        means = [c.stat.mean for c in cell.competitive]
+        assert means == sorted(means)
+        for c in cell.competitive:
+            assert c.stat.overlaps(cell.best.stat)
+
+    def test_fig6_uses_best_model_consistently(self, tiny_profile):
+        ratios = tiny_profile.fig6("CC", "Talk", stage=2)
+        assert ratios["batch"]["AS"] == pytest.approx(1.0)
+        assert set(ratios["update"]) == {"AS", "DAH"}

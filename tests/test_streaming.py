@@ -1,0 +1,262 @@
+"""Tests for batching, the stream driver, and result series."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.errors import ConfigError, DatasetError, SimulationError
+from repro.graph import EdgeBatch
+from repro.streaming import StreamConfig, StreamDriver, make_batches
+from tests.conftest import SMALL_MACHINE
+
+
+class TestBatching:
+    def test_batch_sizes(self):
+        edges = EdgeBatch.from_edges([(i, i + 1) for i in range(25)])
+        batches = make_batches(edges, batch_size=10, shuffle=False)
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_shuffle_preserves_multiset(self):
+        edges = EdgeBatch.from_edges([(i, i + 1) for i in range(25)])
+        batches = make_batches(edges, batch_size=10, shuffle_seed=3)
+        seen = sorted(
+            (int(s), int(d)) for b in batches for s, d in zip(b.src, b.dst)
+        )
+        assert seen == sorted((i, i + 1) for i in range(25))
+
+    def test_empty_stream(self):
+        assert make_batches(EdgeBatch.empty(), batch_size=10) == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(DatasetError):
+            make_batches(EdgeBatch.empty(), batch_size=0)
+
+    def test_different_seeds_different_orders(self):
+        edges = EdgeBatch.from_edges([(i, i + 1) for i in range(100)])
+        a = make_batches(edges, 50, shuffle_seed=1)[0]
+        b = make_batches(edges, 50, shuffle_seed=2)[0]
+        assert not np.array_equal(a.src, b.src)
+
+
+class TestStreamConfig:
+    def test_defaults_cover_paper_matrix(self):
+        config = StreamConfig()
+        assert set(config.structures) == {"AS", "AC", "Stinger", "DAH"}
+        assert set(config.algorithms) == {"BFS", "CC", "MC", "PR", "SSSP", "SSWP"}
+        assert set(config.models) == {"FS", "INC"}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"batch_size": 0},
+            {"repetitions": 0},
+            {"structures": ("AS", "XX")},
+            {"algorithms": ("BFS", "XX")},
+            {"models": ("FS", "XX")},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            StreamConfig(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    dataset = load_dataset("Talk", seed=2, size_factor=0.12)
+    config = StreamConfig(
+        batch_size=800,
+        machine=SMALL_MACHINE,
+        structures=("AS", "DAH"),
+        algorithms=("BFS", "CC"),
+        repetitions=2,
+    )
+    return StreamDriver(config).run(dataset), dataset
+
+
+class TestDriver:
+    def test_batches_and_reps(self, small_result):
+        result, dataset = small_result
+        assert result.repetitions == 2
+        assert result.batches_per_rep == dataset.batch_count(800)
+        assert len(result.records) == 2 * result.batches_per_rep
+
+    def test_series_shapes(self, small_result):
+        result, _ = small_result
+        series = result.update_latency("AS")
+        assert series.shape == (2, result.batches_per_rep)
+        assert (series > 0).all()
+
+    def test_equation_1(self, small_result):
+        """batch latency = update latency + compute latency."""
+        result, _ = small_result
+        total = result.batch_latency("BFS", "INC", "AS")
+        parts = result.update_latency("AS") + result.compute_latency(
+            "BFS", "INC", "AS"
+        )
+        assert np.allclose(total, parts)
+
+    def test_update_fraction_in_unit_interval(self, small_result):
+        result, _ = small_result
+        fraction = result.update_fraction("CC", "FS", "DAH")
+        assert (fraction >= 0).all() and (fraction <= 1).all()
+
+    def test_unknown_combo_rejected(self, small_result):
+        result, _ = small_result
+        with pytest.raises(SimulationError):
+            result.update_latency("Stinger")
+        with pytest.raises(SimulationError):
+            result.compute_latency("PR", "INC", "AS")
+        with pytest.raises(SimulationError):
+            result.batch_latency("BFS", "XX", "AS")
+
+    def test_graph_grows_over_batches(self, small_result):
+        result, _ = small_result
+        rep0 = [r for r in result.records if r.repetition == 0]
+        edges = [r.num_edges for r in rep0]
+        assert edges == sorted(edges)
+        assert edges[-1] > edges[0]
+
+    def test_repetitions_differ_by_shuffle(self, small_result):
+        result, _ = small_result
+        rep0 = result.update_latency("AS")[0]
+        rep1 = result.update_latency("AS")[1]
+        assert not np.allclose(rep0, rep1)
+
+    def test_inserted_counts_match_final_graph(self, small_result):
+        result, _ = small_result
+        rep0 = [r for r in result.records if r.repetition == 0]
+        assert sum(r.edges_inserted for r in rep0) == rep0[-1].num_edges
+
+    def test_progress_callback(self):
+        dataset = load_dataset("Talk", seed=2, size_factor=0.05)
+        messages = []
+        config = StreamConfig(
+            batch_size=500,
+            machine=SMALL_MACHINE,
+            structures=("AS",),
+            algorithms=("BFS",),
+            progress=messages.append,
+        )
+        StreamDriver(config).run(dataset)
+        assert len(messages) == dataset.batch_count(500)
+
+
+class TestChurn:
+    def test_churn_fraction_validated(self):
+        with pytest.raises(ConfigError):
+            StreamConfig(churn_fraction=1.0)
+        with pytest.raises(ConfigError):
+            StreamConfig(churn_fraction=-0.1)
+
+    def test_churn_stream_runs_and_shrinks_graph(self):
+        dataset = load_dataset("Talk", seed=3, size_factor=0.1)
+        base_cfg = dict(
+            batch_size=600,
+            machine=SMALL_MACHINE,
+            structures=("AS", "DAH"),
+            algorithms=("CC",),
+            models=("FS",),
+        )
+        plain = StreamDriver(StreamConfig(**base_cfg)).run(dataset)
+        churned = StreamDriver(
+            StreamConfig(churn_fraction=0.3, **base_cfg)
+        ).run(dataset)
+        # Deletions shrink the final graph.
+        final_plain = [r for r in plain.records if r.repetition == 0][-1]
+        final_churn = [r for r in churned.records if r.repetition == 0][-1]
+        assert final_churn.num_edges < final_plain.num_edges
+        # The update phase paid for the deletions too.
+        assert (
+            churned.update_latency("AS").sum() > plain.update_latency("AS").sum()
+        )
+
+    def test_churned_fs_values_match_reference_graph(self):
+        """FS compute stays exact under churn."""
+        import numpy as np
+
+        from repro.algorithms import get_algorithm
+        from repro.graph import ReferenceGraph
+        from repro.streaming import make_batches
+
+        dataset = load_dataset("LJ", seed=5, size_factor=0.05)
+        batches = make_batches(dataset.edges, 400, shuffle_seed=5)
+        reference = ReferenceGraph(dataset.max_nodes, directed=True)
+        for batch in batches:
+            reference.update(batch)
+            victims = batch.slice(0, len(batch) // 4)
+            reference.delete_collect(victims)
+        run = get_algorithm("CC").fs_run(reference)
+        n = reference.num_nodes
+        for v in range(n):
+            incoming = [run.values[u] for u, _ in reference.in_neigh(v)]
+            assert run.values[v] <= min(incoming, default=run.values[v])
+
+
+class TestDeterminism:
+    def test_identical_configs_identical_results(self):
+        """The whole pipeline is deterministic given seeds."""
+        dataset_a = load_dataset("Talk", seed=7, size_factor=0.08)
+        dataset_b = load_dataset("Talk", seed=7, size_factor=0.08)
+        config = StreamConfig(
+            batch_size=500,
+            machine=SMALL_MACHINE,
+            structures=("AS", "DAH"),
+            algorithms=("BFS", "PR"),
+            shuffle_seed=3,
+        )
+        first = StreamDriver(config).run(dataset_a)
+        second = StreamDriver(config).run(dataset_b)
+        for structure in ("AS", "DAH"):
+            assert np.array_equal(
+                first.update_latency(structure), second.update_latency(structure)
+            )
+        for key in (("BFS", "INC", "AS"), ("PR", "FS", "DAH")):
+            assert np.array_equal(
+                first.compute_latency(*key), second.compute_latency(*key)
+            )
+
+    def test_different_shuffle_seed_changes_latencies(self):
+        dataset = load_dataset("Talk", seed=7, size_factor=0.08)
+        base = dict(
+            batch_size=500,
+            machine=SMALL_MACHINE,
+            structures=("AS",),
+            algorithms=("BFS",),
+        )
+        a = StreamDriver(StreamConfig(shuffle_seed=1, **base)).run(dataset)
+        b = StreamDriver(StreamConfig(shuffle_seed=2, **base)).run(dataset)
+        assert not np.array_equal(a.update_latency("AS"), b.update_latency("AS"))
+
+    def test_churned_inc_state_stays_correct(self):
+        """With churn, the driver's INC states match FS after the run."""
+        from repro.algorithms import get_algorithm
+        from repro.graph import ReferenceGraph
+        from repro.streaming import make_batches
+
+        dataset = load_dataset("Talk", seed=9, size_factor=0.08)
+        config = StreamConfig(
+            batch_size=500,
+            machine=SMALL_MACHINE,
+            structures=("AS",),
+            algorithms=("CC",),
+            models=("INC",),
+            churn_fraction=0.3,
+        )
+        result = StreamDriver(config).run(dataset)
+        assert result.batches_per_rep >= 2
+        # Rebuild the same churned stream and verify the combined
+        # inc_run + inc_delete_run discipline stays equal to FS.
+        algorithm = get_algorithm("CC")
+        reference = ReferenceGraph(dataset.max_nodes, directed=True)
+        state = algorithm.make_state(dataset.max_nodes)
+        for batch in make_batches(dataset.edges, 500, shuffle_seed=config.shuffle_seed):
+            reference.update(batch)
+            algorithm.inc_run(
+                reference, state, algorithm.affected_from_batch(batch, reference)
+            )
+            victims = batch.slice(0, max(1, int(len(batch) * 0.3)))
+            removed = reference.delete_collect(victims)
+            algorithm.inc_delete_run(reference, state, removed)
+        expected = algorithm.fs_run(reference).values
+        n = reference.num_nodes
+        assert np.array_equal(state.values[:n], expected[:n])
