@@ -8,7 +8,10 @@ reduction step and write the rendered artifact to
 ``benchmarks/output/``.
 
 Set ``SAGA_BENCH_QUICK=1`` to run the sweeps at reduced scale while
-developing.
+developing.  Both sweeps go through the experiment engine: point
+``SAGA_BENCH_CACHE_DIR`` at a directory to serve repeated benchmark
+sessions from the RunStore cache, and set ``SAGA_BENCH_JOBS=N`` to fan
+sweep cells over N worker processes.
 """
 
 from __future__ import annotations
@@ -19,12 +22,25 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import run_hardware_profile, run_software_profile
+from repro.engine import default_store
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
 from repro.streaming import StreamConfig
 
 QUICK = bool(int(os.environ.get("SAGA_BENCH_QUICK", "0")))
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def run_store():
+    """The session's RunStore (None unless SAGA_BENCH_CACHE_DIR is set)."""
+    return default_store()
+
+
+@pytest.fixture(scope="session")
+def engine_jobs():
+    """Worker-process count for sweep cells (SAGA_BENCH_JOBS)."""
+    return int(os.environ.get("SAGA_BENCH_JOBS", "0")) or None
 
 
 @pytest.fixture(scope="session")
@@ -53,19 +69,21 @@ def record_output(output_dir):
 
 
 @pytest.fixture(scope="session")
-def software_profile():
+def software_profile(run_store, engine_jobs):
     """The full Section V sweep: all datasets, 4 structures x 2 models."""
     if QUICK:
         return run_software_profile(
             datasets=["LJ", "Talk"],
             config=StreamConfig(batch_size=1000),
             size_factor=0.2,
+            store=run_store,
+            jobs=engine_jobs,
         )
-    return run_software_profile()
+    return run_software_profile(store=run_store, jobs=engine_jobs)
 
 
 @pytest.fixture(scope="session")
-def hardware_profile():
+def hardware_profile(run_store, engine_jobs):
     """The full Section VI sweep on the scaled cache hierarchy."""
     if QUICK:
         return run_hardware_profile(
@@ -77,9 +95,13 @@ def hardware_profile():
             size_factor=0.5,
             batch_size=1250,
             trace_cap=20_000,
+            store=run_store,
+            jobs=engine_jobs,
         )
     return run_hardware_profile(
         machine=SCALED_SKYLAKE_GOLD_6142,
         core_counts=(4, 8, 12, 16, 20, 24, 28),
         trace_cap=40_000,
+        store=run_store,
+        jobs=engine_jobs,
     )

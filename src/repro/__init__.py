@@ -22,8 +22,12 @@ This package reproduces the whole system from scratch:
   bandwidth/QPI counters.
 - :mod:`repro.analysis` -- harnesses that regenerate every table and
   figure of the paper's evaluation.
+- :mod:`repro.engine` -- the shared experiment engine behind those
+  harnesses: content-addressed result caching (RunStore) and cached,
+  process-parallel sweep execution.
 """
 
+from repro.engine import RunStore, run_stream
 from repro.graph import (
     AdjacencyListChunked,
     AdjacencyListShared,
@@ -44,6 +48,8 @@ __all__ = [
     "GraphDataStructure",
     "Stinger",
     "make_structure",
+    "RunStore",
+    "run_stream",
     "StreamDriver",
     "StreamConfig",
     "MachineConfig",

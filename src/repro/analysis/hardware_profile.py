@@ -34,6 +34,8 @@ from repro.algorithms.registry import get_algorithm
 from repro.analysis.stats import stage_slices
 from repro.compute.pricing import price_compute_run
 from repro.datasets.catalog import DEFAULT_BATCH_SIZE, HEAVY_TAILED, SHORT_TAILED, load_dataset
+from repro.engine.fingerprint import canonical, describe_dataset, fingerprint
+from repro.engine.store import RunStore
 from repro.errors import SimulationError
 from repro.graph import ReferenceGraph, make_structure
 from repro.graph.base import ExecutionContext
@@ -61,6 +63,71 @@ class PhaseSample:
 
     batch_index: int
     counters: PhaseCounters
+
+
+@dataclass
+class HardwareCell:
+    """One (dataset, structure) slice of an architecture profile.
+
+    The unit of caching and parallelism in the hardware sweep: cells
+    are independent (each gets its own cache hierarchy, reference
+    graph, and algorithm states), so the engine can execute them in any
+    order and merge deterministically.
+    """
+
+    dataset: str
+    structure: str
+    batches: int
+    #: {phase: {cores: total makespan cycles summed over batches}}
+    scaling_cycles: Dict[str, Dict[int, float]]
+    #: {phase: [PhaseCounters, ...]} in batch order.
+    counters: Dict[str, List[PhaseCounters]]
+
+    def to_payload(self) -> Tuple[dict, Dict[str, np.ndarray]]:
+        """Split into JSON metadata and columnar arrays for the store."""
+        fields = list(PhaseCounters.__dataclass_fields__)
+        core_counts = sorted(self.scaling_cycles[_PHASES[0]])
+        meta = {
+            "dataset": self.dataset,
+            "structure": self.structure,
+            "batches": self.batches,
+            "core_counts": core_counts,
+            "counter_fields": fields,
+        }
+        arrays = {}
+        for phase in _PHASES:
+            arrays[f"scaling_{phase}"] = np.asarray(
+                [self.scaling_cycles[phase][c] for c in core_counts]
+            )
+            arrays[f"counters_{phase}"] = np.asarray(
+                [[getattr(c, f) for f in fields] for c in self.counters[phase]]
+            ).reshape(len(self.counters[phase]), len(fields))
+        return meta, arrays
+
+    @classmethod
+    def from_payload(cls, meta: dict, arrays: Dict[str, np.ndarray]) -> "HardwareCell":
+        fields = list(meta["counter_fields"])
+        if fields != list(PhaseCounters.__dataclass_fields__):
+            raise SimulationError("cached cell has incompatible counter fields")
+        core_counts = [int(c) for c in meta["core_counts"]]
+        scaling = {
+            phase: dict(zip(core_counts, map(float, arrays[f"scaling_{phase}"])))
+            for phase in _PHASES
+        }
+        counters = {
+            phase: [
+                PhaseCounters(**dict(zip(fields, map(float, row))))
+                for row in arrays[f"counters_{phase}"]
+            ]
+            for phase in _PHASES
+        }
+        return cls(
+            dataset=meta["dataset"],
+            structure=meta["structure"],
+            batches=int(meta["batches"]),
+            scaling_cycles=scaling,
+            counters=counters,
+        )
 
 
 @dataclass
@@ -148,33 +215,94 @@ class HardwareProfiler:
         self.seed = seed
         self.prefetch = prefetch
 
+    def cell_key(
+        self, dataset_name: str, structure_name: str, size_factor: float
+    ) -> str:
+        """RunStore fingerprint of one (dataset, structure) cell."""
+        fields = list(PhaseCounters.__dataclass_fields__)
+        return fingerprint(
+            {
+                "kind": "hardware-cell",
+                "dataset": describe_dataset(dataset_name, self.seed, size_factor),
+                "structure": structure_name,
+                "machine": canonical(self.machine),
+                "cost_model": canonical(self.cost),
+                "core_counts": list(self.core_counts),
+                "algorithms": list(self.algorithms),
+                "batch_size": self.batch_size,
+                "trace_cap": self.trace_cap,
+                "prefetch": self.prefetch,
+                "counter_fields": fields,
+            }
+        )
+
     def profile_group(
         self,
         group: str,
         datasets: Sequence[str],
         structure_name: str,
         size_factor: float = 1.0,
+        store: Optional[RunStore] = None,
+        jobs: Optional[int] = None,
     ) -> GroupProfile:
         """Profile every dataset of one group on its best structure."""
-        profile = GroupProfile(
-            group=group,
-            structure=structure_name,
-            datasets=tuple(datasets),
-            scaling_cycles={p: {c: 0.0 for c in self.core_counts} for p in _PHASES},
+        cells = self.profile_cells(
+            [(name, structure_name, size_factor) for name in datasets],
+            store=store,
+            jobs=jobs,
         )
-        for name in datasets:
-            self._profile_dataset(name, structure_name, profile, size_factor)
-        return profile
+        return merge_cells(group, structure_name, cells, self.core_counts)
+
+    def profile_cells(
+        self,
+        specs: Sequence[Tuple[str, str, float]],
+        store: Optional[RunStore] = None,
+        jobs: Optional[int] = None,
+    ) -> List[HardwareCell]:
+        """Resolve (dataset, structure, size_factor) cells, in order.
+
+        Cached cells load from ``store``; the rest run serially or fan
+        out over a process pool, then everything is reassembled in the
+        order of ``specs``.
+        """
+        cells: List[Optional[HardwareCell]] = [None] * len(specs)
+        keys: List[Optional[str]] = [None] * len(specs)
+        pending: List[Tuple[int, Tuple[str, str, float]]] = []
+        for index, (dataset, structure, size_factor) in enumerate(specs):
+            if store is not None:
+                keys[index] = self.cell_key(dataset, structure, size_factor)
+                payload = store.load_arrays(keys[index])
+                if payload is not None:
+                    try:
+                        cells[index] = HardwareCell.from_payload(*payload)
+                        continue
+                    except SimulationError:
+                        pass
+            pending.append((index, (dataset, structure, size_factor)))
+        if pending:
+            payloads = [(self,) + spec for _, spec in pending]
+            if jobs and jobs > 1 and len(pending) > 1:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    fresh = list(pool.map(_run_hardware_cell, payloads))
+            else:
+                fresh = [_run_hardware_cell(payload) for payload in payloads]
+            for (index, _), cell in zip(pending, fresh):
+                cells[index] = cell
+                if store is not None:
+                    store.save_arrays(keys[index], *cell.to_payload())
+        return [cell for cell in cells if cell is not None]
 
     # ------------------------------------------------------------------
 
-    def _profile_dataset(
+    def profile_cell(
         self,
         dataset_name: str,
         structure_name: str,
-        profile: GroupProfile,
-        size_factor: float,
-    ) -> None:
+        size_factor: float = 1.0,
+    ) -> HardwareCell:
+        """Stream one dataset on one structure with full instrumentation."""
         machine = self.machine
         dataset = load_dataset(dataset_name, seed=self.seed, size_factor=size_factor)
         batches = make_batches(dataset.edges, self.batch_size, shuffle_seed=self.seed)
@@ -210,7 +338,15 @@ class HardwareProfiler:
             for cores in self.core_counts
         }
 
-        profile.batches_per_dataset[dataset_name] = len(batches)
+        cell = HardwareCell(
+            dataset=dataset_name,
+            structure=structure_name,
+            batches=len(batches),
+            scaling_cycles={
+                p: {c: 0.0 for c in self.core_counts} for p in _PHASES
+            },
+            counters={p: [] for p in _PHASES},
+        )
         for batch_index, batch in enumerate(batches):
             # ---- update phase --------------------------------------
             recorder = TraceRecorder()
@@ -221,16 +357,13 @@ class HardwareProfiler:
             tasks = update.extra["tasks"]
             for cores, sctx in scaling_ctxs.items():
                 scaled = structure.schedule_tasks(tasks, sctx)
-                profile.scaling_cycles["update"][cores] += scaled.makespan_cycles
+                cell.scaling_cycles["update"][cores] += scaled.makespan_cycles
             full_trace = update.trace
             sampled = full_trace.sample(self.trace_cap, seed=batch_index)
             scale = max(1.0, len(full_trace) / max(len(sampled), 1))
             stats = hierarchy.replay(sampled, update.schedule.task_thread)
-            profile.samples["update"].append(
-                PhaseSample(
-                    batch_index=batch_index,
-                    counters=derive_counters(update.schedule, stats, machine, scale),
-                )
+            cell.counters["update"].append(
+                derive_counters(update.schedule, stats, machine, scale)
             )
 
             # ---- reference bookkeeping -----------------------------
@@ -255,7 +388,7 @@ class HardwareProfiler:
                         run, structure_name, deg_in[:n], deg_out[:n], sctx,
                         neighbor_degree_query=algorithm.neighbor_degree_query,
                     )
-                    profile.scaling_cycles["compute"][cores] += pricing.latency_cycles
+                    cell.scaling_cycles["compute"][cores] += pricing.latency_cycles
                 pricing = price_compute_run(
                     run, structure_name, deg_in[:n], deg_out[:n], full_ctx,
                     neighbor_degree_query=algorithm.neighbor_degree_query,
@@ -273,12 +406,10 @@ class HardwareProfiler:
                 compute_counter_list.append(
                     derive_counters(schedule, stats, machine, scale)
                 )
-            profile.samples["compute"].append(
-                PhaseSample(
-                    batch_index=batch_index,
-                    counters=_average_counters(compute_counter_list),
-                )
+            cell.counters["compute"].append(
+                _average_counters(compute_counter_list)
             )
+        return cell
 
     def _compute_trace(
         self,
@@ -319,6 +450,44 @@ class HardwareProfiler:
         return recorder.finalize(), task_thread
 
 
+def _run_hardware_cell(payload) -> HardwareCell:
+    """Process-pool entry point: run one cell on a pickled profiler."""
+    profiler, dataset, structure, size_factor = payload
+    return profiler.profile_cell(dataset, structure, size_factor)
+
+
+def merge_cells(
+    group: str,
+    structure: str,
+    cells: Sequence[HardwareCell],
+    core_counts: Sequence[int],
+) -> GroupProfile:
+    """Assemble a :class:`GroupProfile` from per-dataset cells, in order.
+
+    Produces exactly what the former monolithic per-group loop did:
+    scaling cycles summed across datasets, samples concatenated in
+    dataset order with per-dataset batch indices.
+    """
+    profile = GroupProfile(
+        group=group,
+        structure=structure,
+        datasets=tuple(cell.dataset for cell in cells),
+        scaling_cycles={p: {c: 0.0 for c in core_counts} for p in _PHASES},
+    )
+    for cell in cells:
+        profile.batches_per_dataset[cell.dataset] = cell.batches
+        for phase in _PHASES:
+            for cores in core_counts:
+                profile.scaling_cycles[phase][cores] += cell.scaling_cycles[phase][
+                    cores
+                ]
+            profile.samples[phase].extend(
+                PhaseSample(batch_index=index, counters=counters)
+                for index, counters in enumerate(cell.counters[phase])
+            )
+    return profile
+
+
 def _average_counters(counters: List[PhaseCounters]) -> PhaseCounters:
     """Field-wise mean of a list of :class:`PhaseCounters`."""
     if not counters:
@@ -342,8 +511,15 @@ def run_hardware_profile(
     seed: int = 0,
     trace_cap: int = DEFAULT_TRACE_CAP,
     prefetch: bool = False,
+    store: Optional[RunStore] = None,
+    jobs: Optional[int] = None,
 ) -> HardwareProfile:
-    """Run the full Section VI characterization on both groups."""
+    """Run the full Section VI characterization on both groups.
+
+    All (group, dataset) cells resolve through one cache lookup /
+    process pool, then merge per group in dataset order, so the profile
+    is identical to the sequential sweep regardless of ``jobs``.
+    """
     profiler = HardwareProfiler(
         machine=machine,
         cost_model=cost_model,
@@ -354,8 +530,21 @@ def run_hardware_profile(
         seed=seed,
         prefetch=prefetch,
     )
-    groups = {
-        "STail": profiler.profile_group("STail", short_tailed, "AS", size_factor),
-        "HTail": profiler.profile_group("HTail", heavy_tailed, "DAH", size_factor),
-    }
+    plan = [("STail", tuple(short_tailed), "AS"), ("HTail", tuple(heavy_tailed), "DAH")]
+    specs = [
+        (dataset, structure, size_factor)
+        for _, datasets, structure in plan
+        for dataset in datasets
+    ]
+    cells = profiler.profile_cells(specs, store=store, jobs=jobs)
+    groups = {}
+    offset = 0
+    for group, datasets, structure in plan:
+        groups[group] = merge_cells(
+            group,
+            structure,
+            cells[offset: offset + len(datasets)],
+            profiler.core_counts,
+        )
+        offset += len(datasets)
     return HardwareProfile(groups=groups)

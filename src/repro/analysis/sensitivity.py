@@ -15,11 +15,11 @@ exposing the trade-off the fixed choice hides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.datasets.catalog import load_dataset
-from repro.graph import ExecutionContext, make_structure
-from repro.streaming.batching import make_batches
+from repro.engine.store import RunStore
+from repro.engine.sweep import StreamRequest, run_many
+from repro.streaming.driver import StreamConfig
 
 DEFAULT_BATCH_SIZES = (500, 1000, 2500, 5000, 10000)
 STRUCTURE_NAMES = ("AS", "AC", "Stinger", "DAH")
@@ -45,21 +45,35 @@ def run_batch_size_sensitivity(
     structures: Sequence[str] = STRUCTURE_NAMES,
     seed: int = 0,
     size_factor: float = 1.0,
+    store: Optional[RunStore] = None,
+    jobs: Optional[int] = None,
 ) -> SensitivityResult:
-    """Sweep batch sizes; returns total update latency per structure."""
-    dataset = load_dataset(dataset_name, seed=seed, size_factor=size_factor)
-    ctx = ExecutionContext()
+    """Sweep batch sizes; returns total update latency per structure.
+
+    Each batch size is one engine request with an empty compute matrix
+    (update phase only), so the sweep shares the RunStore cache and the
+    process pool with every other harness.
+    """
+    requests = [
+        StreamRequest(
+            dataset=dataset_name,
+            config=StreamConfig(
+                batch_size=batch_size,
+                structures=tuple(structures),
+                algorithms=(),
+                models=(),
+                shuffle_seed=seed,
+            ),
+            seed=seed,
+            size_factor=size_factor,
+        )
+        for batch_size in batch_sizes
+    ]
+    results = run_many(requests, store=store, jobs=jobs)
     totals: Dict[str, Dict[int, float]] = {name: {} for name in structures}
-    for batch_size in batch_sizes:
-        batches = make_batches(dataset.edges, batch_size, shuffle_seed=seed)
+    for batch_size, result in zip(batch_sizes, results):
         for name in structures:
-            structure = make_structure(
-                name, dataset.max_nodes, directed=dataset.directed
-            )
-            total = 0.0
-            for batch in batches:
-                total += structure.update(batch, ctx).latency_seconds(ctx.machine)
-            totals[name][batch_size] = total
+            totals[name][batch_size] = float(result.update_latency(name).sum())
     return SensitivityResult(
         dataset=dataset_name, batch_sizes=tuple(batch_sizes), totals=totals
     )

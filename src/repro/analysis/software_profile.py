@@ -21,9 +21,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import StageStat, stage_stats
-from repro.datasets.catalog import dataset_names, load_dataset
+from repro.datasets.catalog import dataset_names
+from repro.engine.store import RunStore
+from repro.engine.sweep import StreamRequest, run_many
 from repro.errors import SimulationError
-from repro.streaming.driver import StreamConfig, StreamDriver
+from repro.streaming.driver import StreamConfig
 from repro.streaming.results import StreamResult
 
 #: Stage names in paper order.
@@ -198,12 +200,21 @@ def run_software_profile(
     config: Optional[StreamConfig] = None,
     seed: int = 0,
     size_factor: float = 1.0,
+    store: Optional[RunStore] = None,
+    jobs: Optional[int] = None,
 ) -> SoftwareProfile:
-    """Stream every dataset and return the reduced profile."""
+    """Stream every dataset and return the reduced profile.
+
+    Runs through the experiment engine: per-dataset results are served
+    from ``store`` when cached, and (dataset × repetition) cells fan
+    out over ``jobs`` worker processes otherwise.
+    """
     config = config if config is not None else StreamConfig()
-    driver = StreamDriver(config)
-    results: Dict[str, StreamResult] = {}
-    for name in datasets if datasets is not None else dataset_names():
-        dataset = load_dataset(name, seed=seed, size_factor=size_factor)
-        results[name] = driver.run(dataset)
+    names = list(datasets if datasets is not None else dataset_names())
+    requests = [
+        StreamRequest(dataset=name, config=config, seed=seed, size_factor=size_factor)
+        for name in names
+    ]
+    swept = run_many(requests, store=store, jobs=jobs)
+    results: Dict[str, StreamResult] = dict(zip(names, swept))
     return SoftwareProfile(results=results)

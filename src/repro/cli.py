@@ -5,9 +5,17 @@ Usage::
     python -m repro table1|table2|table3|table4|fig6|fig7|fig8|fig9|fig10
     python -m repro all --quick
     python -m repro stream --dataset Talk --structure DAH --algorithm PR
+    python -m repro table3 --cache-dir ~/.cache/saga --jobs 4
 
 ``--quick`` runs the sweeps at reduced scale (minutes instead of tens
 of minutes); ``--output DIR`` also writes each artifact to a file.
+
+Every subcommand shares the experiment-engine flags: ``--cache-dir``
+points the content-addressed RunStore at a directory (a second
+identical invocation then regenerates every artifact from cache,
+bit-identically, without simulating), ``--no-cache`` disables the
+cache even when ``SAGA_BENCH_CACHE_DIR`` is set, and ``--jobs N``
+fans sweep cells over N worker processes.
 """
 
 from __future__ import annotations
@@ -20,9 +28,10 @@ from typing import Callable, Dict, Optional
 
 from repro.analysis import degree_table, run_hardware_profile, run_software_profile
 from repro.analysis import report
-from repro.datasets import dataset_names, load_dataset
+from repro.datasets import dataset_names
+from repro.engine import default_store, run_stream
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
-from repro.streaming import StreamConfig, StreamDriver
+from repro.streaming import StreamConfig
 
 SOFTWARE_ARTIFACTS = ("table3", "fig6", "fig7", "fig8")
 HARDWARE_ARTIFACTS = ("fig9", "fig10")
@@ -32,8 +41,10 @@ ALL_ARTIFACTS = ("table1", "table2", "table4") + SOFTWARE_ARTIFACTS + HARDWARE_A
 class _Session:
     """Lazily computes and caches the expensive sweeps."""
 
-    def __init__(self, quick: bool) -> None:
+    def __init__(self, quick: bool, store=None, jobs: Optional[int] = None) -> None:
         self.quick = quick
+        self.store = store
+        self.jobs = jobs
         self._software = None
         self._hardware = None
 
@@ -45,9 +56,13 @@ class _Session:
                     datasets=["LJ", "Talk"],
                     config=StreamConfig(batch_size=1000),
                     size_factor=0.25,
+                    store=self.store,
+                    jobs=self.jobs,
                 )
             else:
-                self._software = run_software_profile()
+                self._software = run_software_profile(
+                    store=self.store, jobs=self.jobs
+                )
         return self._software
 
     @property
@@ -63,13 +78,25 @@ class _Session:
                     size_factor=0.5,
                     batch_size=1250,
                     trace_cap=20_000,
+                    store=self.store,
+                    jobs=self.jobs,
                 )
             else:
                 self._hardware = run_hardware_profile(
                     machine=SCALED_SKYLAKE_GOLD_6142,
                     trace_cap=40_000,
+                    store=self.store,
+                    jobs=self.jobs,
                 )
         return self._hardware
+
+
+def _session_from_args(args: argparse.Namespace) -> _Session:
+    return _Session(
+        quick=args.quick,
+        store=default_store(args.cache_dir, no_cache=args.no_cache),
+        jobs=args.jobs,
+    )
 
 
 def _renderers(session: _Session) -> Dict[str, Callable[[], str]]:
@@ -87,7 +114,7 @@ def _renderers(session: _Session) -> Dict[str, Callable[[], str]]:
 
 
 def _cmd_artifacts(args: argparse.Namespace) -> int:
-    session = _Session(quick=args.quick)
+    session = _session_from_args(args)
     renderers = _renderers(session)
     names = ALL_ARTIFACTS if args.artifact == "all" else (args.artifact,)
     output_dir: Optional[Path] = Path(args.output) if args.output else None
@@ -112,13 +139,18 @@ def _cmd_artifacts(args: argparse.Namespace) -> int:
             print(export_software_profile(session.software, csv_dir / "software.csv"))
         if session._hardware is not None:
             print(export_hardware_profile(session.hardware, csv_dir / "hardware.csv"))
+    if session.store is not None:
+        print(
+            f"[cache {session.store.root}: {session.store.hits} hits, "
+            f"{session.store.misses} misses]"
+        )
     return 0
 
 
 def _cmd_conformance(args: argparse.Namespace) -> int:
     from repro.analysis.conformance import conformance_report, render_conformance
 
-    session = _Session(quick=args.quick)
+    session = _session_from_args(args)
     results = conformance_report(
         software=session.software, hardware=session.hardware
     )
@@ -132,7 +164,6 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    dataset = load_dataset(args.dataset, seed=args.seed, size_factor=args.size_factor)
     config = StreamConfig(
         batch_size=args.batch_size,
         structures=(args.structure,),
@@ -140,7 +171,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         models=("FS", "INC"),
         progress=print if args.verbose else None,
     )
-    result = StreamDriver(config).run(dataset)
+    result = run_stream(
+        args.dataset,
+        config,
+        seed=args.seed,
+        size_factor=args.size_factor,
+        store=default_store(args.cache_dir, no_cache=args.no_cache),
+        jobs=args.jobs,
+    )
     update = result.update_latency(args.structure)[0]
     print(f"{args.dataset} on {args.structure}, {args.algorithm}: "
           f"{result.batches_per_rep} batches")
@@ -151,6 +189,27 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         print(f"{index:>5d} {update[index] * 1e3:>11.3f} "
               f"{inc[index] * 1e3:>9.3f} {fs[index] * 1e3:>9.3f}")
     return 0
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """The experiment-engine flags shared by every subcommand."""
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="RunStore directory: cache sweep results on disk "
+             "(default: $SAGA_BENCH_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the RunStore even if SAGA_BENCH_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run sweep cells across N worker processes",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -170,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--csv",
             help="also export the computed sweeps as CSV files to DIR",
         )
+        _add_engine_args(artifact)
 
     conformance = sub.add_parser(
         "conformance",
@@ -178,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.set_defaults(func=_cmd_conformance)
     conformance.add_argument("--quick", action="store_true")
     conformance.add_argument("--output", help="also write the report to DIR")
+    _add_engine_args(conformance)
 
     stream = sub.add_parser("stream", help="stream one dataset and print latencies")
     stream.set_defaults(func=_cmd_stream)
@@ -191,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("--size-factor", type=float, default=1.0)
     stream.add_argument("--verbose", action="store_true")
+    _add_engine_args(stream)
     return parser
 
 

@@ -1,0 +1,126 @@
+"""Content-addressed on-disk cache of experiment results.
+
+A :class:`RunStore` maps a fingerprint (see
+:mod:`repro.engine.fingerprint`) to one ``.npz`` file holding the
+result's columnar arrays plus a JSON metadata record.  Because the
+simulation is deterministic, a hit is bit-identical to re-running the
+sweep, so repeated artifact generation (CLI invocations, benchmark
+sessions, conformance checks) skips the expensive simulation entirely.
+
+Writes are atomic (temp file + ``os.replace``) so a store shared
+between parallel workers or interrupted runs never holds a torn entry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.streaming.results import StreamResult
+
+#: Environment variable naming a default cache directory; honored by
+#: the CLI and the benchmark harness when no explicit path is given.
+CACHE_DIR_ENV = "SAGA_BENCH_CACHE_DIR"
+
+
+class RunStore:
+    """A directory of fingerprint-keyed ``.npz`` result files."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunStore({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+
+    def path(self, key: str) -> Path:
+        """Path of the entry for ``key`` (whether or not it exists)."""
+        if not key or any(c not in "0123456789abcdef" for c in key):
+            raise ConfigError(f"malformed cache key {key!r}")
+        return self.root / f"{key}.npz"
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    # -- generic array payloads ----------------------------------------
+
+    def save_arrays(
+        self, key: str, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> Path:
+        """Atomically persist one ``meta + arrays`` payload under ``key``."""
+        if "__meta__" in arrays:
+            raise ConfigError("'__meta__' is a reserved array name")
+        final = self.path(key)
+        tmp = final.with_name(f".{key}.{os.getpid()}.tmp.npz")
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                __meta__=np.asarray(json.dumps(meta, sort_keys=True)),
+                **arrays,
+            )
+        os.replace(tmp, final)
+        return final
+
+    def load_arrays(
+        self, key: str
+    ) -> Optional[Tuple[dict, Dict[str, np.ndarray]]]:
+        """The payload stored under ``key``, or None on a miss.
+
+        Unreadable entries (truncated file, foreign format) count as
+        misses rather than raising: the cache must never be able to
+        make a run fail that would succeed without it.
+        """
+        path = self.path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["__meta__"]))
+                arrays = {
+                    name: data[name] for name in data.files if name != "__meta__"
+                }
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return meta, arrays
+
+    # -- stream results -------------------------------------------------
+
+    def save_stream_result(self, key: str, result: StreamResult) -> Path:
+        meta, arrays = result.to_payload()
+        return self.save_arrays(key, meta, arrays)
+
+    def load_stream_result(self, key: str) -> Optional[StreamResult]:
+        payload = self.load_arrays(key)
+        if payload is None:
+            return None
+        meta, arrays = payload
+        try:
+            return StreamResult.from_payload(meta, arrays)
+        except Exception:
+            # Entry from an incompatible schema: treat as a miss.
+            self.hits -= 1
+            self.misses += 1
+            return None
+
+
+def default_store(cache_dir=None, no_cache: bool = False) -> Optional[RunStore]:
+    """Resolve the store from an explicit path or :data:`CACHE_DIR_ENV`.
+
+    Returns None (caching disabled) when ``no_cache`` is set or neither
+    an explicit directory nor the environment variable provides one.
+    """
+    if no_cache:
+        return None
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+    return RunStore(cache_dir) if cache_dir else None

@@ -1,0 +1,141 @@
+"""The shared experiment engine: cached, parallel streaming sweeps.
+
+Every harness that needs a :class:`~repro.streaming.results.StreamResult`
+(the software profile, the batch-size sensitivity study, the CLI's
+``stream`` subcommand, the benchmark fixtures) goes through
+:func:`run_stream` / :func:`run_many` instead of driving a private
+:class:`~repro.streaming.driver.StreamDriver` loop:
+
+1. each request is fingerprinted and looked up in the
+   :class:`~repro.engine.store.RunStore` (when one is supplied) —
+   a hit returns the cached result without simulating anything;
+2. misses are expanded into independent **(dataset × repetition)
+   cells** — a repetition's shuffle seed is ``base + stride * rep``,
+   so a cell reproduces exactly the batches the monolithic loop would
+   have produced;
+3. cells execute serially or fan out over a
+   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs`` > 1),
+   and are merged back **in request/repetition order**, so the result
+   is bit-identical regardless of worker scheduling;
+4. fresh results are written back to the store.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.catalog import load_dataset
+from repro.engine.fingerprint import stream_run_key
+from repro.engine.store import RunStore
+from repro.errors import ConfigError
+from repro.streaming.driver import REP_SEED_STRIDE, StreamConfig, StreamDriver
+from repro.streaming.results import StreamResult
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One dataset's sweep under one configuration."""
+
+    dataset: str
+    config: StreamConfig
+    seed: int = 0
+    size_factor: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return stream_run_key(
+            self.dataset, self.config, seed=self.seed, size_factor=self.size_factor
+        )
+
+
+def _cell_config(config: StreamConfig, rep: int, keep_progress: bool) -> StreamConfig:
+    """The single-repetition config equivalent to repetition ``rep``."""
+    return replace(
+        config,
+        repetitions=1,
+        shuffle_seed=config.shuffle_seed + REP_SEED_STRIDE * rep,
+        progress=config.progress if keep_progress else None,
+    )
+
+
+def _run_stream_cell(
+    payload: Tuple[str, int, float, StreamConfig]
+) -> StreamResult:
+    """Execute one (dataset × repetition) cell; must stay picklable."""
+    dataset_name, seed, size_factor, config = payload
+    dataset = load_dataset(dataset_name, seed=seed, size_factor=size_factor)
+    return StreamDriver(config).run(dataset)
+
+
+def run_many(
+    requests: Sequence[StreamRequest],
+    store: Optional[RunStore] = None,
+    jobs: Optional[int] = None,
+) -> List[StreamResult]:
+    """Resolve every request, in order, through cache then execution."""
+    if jobs is not None and jobs < 0:
+        raise ConfigError(f"jobs must be >= 0, got {jobs}")
+    results: List[Optional[StreamResult]] = [None] * len(requests)
+    keys: List[Optional[str]] = [None] * len(requests)
+    cells: List[Tuple[int, Tuple[str, int, float, StreamConfig]]] = []
+    parallel = bool(jobs and jobs > 1)
+    for index, request in enumerate(requests):
+        if store is not None:
+            keys[index] = request.key
+            cached = store.load_stream_result(keys[index])
+            if cached is not None:
+                results[index] = cached
+                continue
+        for rep in range(request.config.repetitions):
+            cells.append(
+                (
+                    index,
+                    (
+                        request.dataset,
+                        request.seed,
+                        request.size_factor,
+                        _cell_config(request.config, rep, keep_progress=not parallel),
+                    ),
+                )
+            )
+    if cells:
+        if parallel and len(cells) > 1:
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                cell_results = list(
+                    pool.map(_run_stream_cell, [payload for _, payload in cells])
+                )
+        else:
+            cell_results = [_run_stream_cell(payload) for _, payload in cells]
+        by_request: Dict[int, List[StreamResult]] = {}
+        for (index, _), result in zip(cells, cell_results):
+            by_request.setdefault(index, []).append(result)
+        for index, parts in by_request.items():
+            merged = StreamResult.merge(parts)
+            results[index] = merged
+            if store is not None:
+                store.save_stream_result(keys[index], merged)
+    missing = [i for i, result in enumerate(results) if result is None]
+    if missing:
+        raise ConfigError(f"requests {missing} produced no result")
+    return results  # type: ignore[return-value]
+
+
+def run_stream(
+    dataset: str,
+    config: Optional[StreamConfig] = None,
+    *,
+    seed: int = 0,
+    size_factor: float = 1.0,
+    store: Optional[RunStore] = None,
+    jobs: Optional[int] = None,
+) -> StreamResult:
+    """Cached, optionally parallel equivalent of ``StreamDriver.run``."""
+    request = StreamRequest(
+        dataset=dataset,
+        config=config if config is not None else StreamConfig(),
+        seed=seed,
+        size_factor=size_factor,
+    )
+    return run_many([request], store=store, jobs=jobs)[0]

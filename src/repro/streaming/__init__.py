@@ -10,16 +10,23 @@ from repro.streaming.batching import make_batches
 from repro.streaming.driver import (
     ALL_ALGORITHMS,
     ALL_STRUCTURES,
+    REP_SEED_STRIDE,
     StreamConfig,
     StreamDriver,
 )
-from repro.streaming.results import BatchRecord, StreamResult
+from repro.streaming.results import (
+    RESULT_SCHEMA_VERSION,
+    BatchRecord,
+    StreamResult,
+)
 
 __all__ = [
     "ALL_ALGORITHMS",
     "ALL_STRUCTURES",
     "BatchRecord",
     "make_batches",
+    "REP_SEED_STRIDE",
+    "RESULT_SCHEMA_VERSION",
     "StreamConfig",
     "StreamDriver",
     "StreamResult",

@@ -39,6 +39,111 @@ from repro.streaming.results import BatchRecord, StreamResult
 ALL_STRUCTURES = ("AS", "AC", "Stinger", "DAH")
 ALL_ALGORITHMS = ("BFS", "CC", "MC", "PR", "SSSP", "SSWP")
 
+#: Stride between the shuffle seeds of consecutive repetitions.  The
+#: sweep engine relies on this to run single repetitions as independent
+#: cells that reproduce the exact batches of a multi-repetition run.
+REP_SEED_STRIDE = 7919
+
+
+class _InEdgeBuffer:
+    """Growable columnar (src, dst, weight) incidence buffer.
+
+    Replaces the Python lists the driver used to rebuild with an O(E)
+    list comprehension on every churn batch: appends amortize through
+    capacity doubling, and deletions apply one vectorized membership
+    mask over packed ``src * max_nodes + dst`` keys.
+    """
+
+    def __init__(self, max_nodes: int, capacity: int = 1024) -> None:
+        self._max_nodes = max_nodes
+        self._src = np.empty(capacity, dtype=np.int64)
+        self._dst = np.empty(capacity, dtype=np.int64)
+        self._weight = np.empty(capacity, dtype=np.float64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._n + extra
+        if needed <= len(self._src):
+            return
+        capacity = max(len(self._src) * 2, needed)
+        for name in ("_src", "_dst", "_weight"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def append(self, src: np.ndarray, dst: np.ndarray, weight: np.ndarray) -> None:
+        count = len(src)
+        if count == 0:
+            return
+        self._reserve(count)
+        n = self._n
+        self._src[n : n + count] = src
+        self._dst[n : n + count] = dst
+        self._weight[n : n + count] = weight
+        self._n = n + count
+
+    def delete(self, removed_src: np.ndarray, removed_dst: np.ndarray) -> None:
+        """Drop every stored edge whose (src, dst) appears in the lists."""
+        if len(removed_src) == 0 or self._n == 0:
+            return
+        n = self._n
+        packed = self._src[:n] * self._max_nodes + self._dst[:n]
+        removed = removed_src * self._max_nodes + removed_dst
+        keep = ~np.isin(packed, removed)
+        kept = int(keep.sum())
+        self._src[:kept] = self._src[:n][keep]
+        self._dst[:kept] = self._dst[:n][keep]
+        self._weight[:kept] = self._weight[:n][keep]
+        self._n = kept
+
+    def view(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live (src, dst, weight) arrays, insertion-ordered."""
+        n = self._n
+        return (
+            self._src[:n].copy(),
+            self._dst[:n].copy(),
+            self._weight[:n].copy(),
+        )
+
+
+def _edge_arrays(edges) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(src, dst, weight) arrays from a list of (u, v, w) tuples."""
+    count = len(edges)
+    src = np.fromiter((e[0] for e in edges), dtype=np.int64, count=count)
+    dst = np.fromiter((e[1] for e in edges), dtype=np.int64, count=count)
+    weight = np.fromiter((e[2] for e in edges), dtype=np.float64, count=count)
+    return src, dst, weight
+
+
+def _with_reverse_interleaved(
+    src: np.ndarray, dst: np.ndarray, weight: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Each edge followed by its reverse (skipping self-loops).
+
+    Matches the exact append order of the original per-edge loop for
+    undirected graphs, keeping reductions over the incidence arrays
+    bit-identical.
+    """
+    forward = src != dst
+    counts = 1 + forward.astype(np.int64)
+    offsets = np.cumsum(counts) - counts
+    total = int(counts.sum())
+    out_src = np.empty(total, dtype=np.int64)
+    out_dst = np.empty(total, dtype=np.int64)
+    out_weight = np.empty(total, dtype=np.float64)
+    out_src[offsets] = src
+    out_dst[offsets] = dst
+    out_weight[offsets] = weight
+    rev = offsets[forward] + 1
+    out_src[rev] = dst[forward]
+    out_dst[rev] = src[forward]
+    out_weight[rev] = weight[forward]
+    return out_src, out_dst, out_weight
+
 
 @dataclass
 class StreamConfig:
@@ -131,7 +236,9 @@ class StreamDriver:
     ) -> None:
         cfg = self.config
         batches = make_batches(
-            dataset.edges, cfg.batch_size, shuffle_seed=cfg.shuffle_seed + 7919 * rep
+            dataset.edges,
+            cfg.batch_size,
+            shuffle_seed=cfg.shuffle_seed + REP_SEED_STRIDE * rep,
         )
         structures = {
             name: make_structure(
@@ -150,9 +257,7 @@ class StreamDriver:
         }
         deg_in = np.zeros(dataset.max_nodes, dtype=np.int64)
         deg_out = np.zeros(dataset.max_nodes, dtype=np.int64)
-        in_src: list = []
-        in_dst: list = []
-        in_weight: list = []
+        incidence = _InEdgeBuffer(dataset.max_nodes)
 
         for batch_index, batch in enumerate(batches):
             record = BatchRecord(
@@ -164,23 +269,34 @@ class StreamDriver:
                 num_edges=0,
             )
             # ---- Update phase: every structure ingests the batch ----
+            structure_inserted = {}
             for name, structure in structures.items():
                 update = structure.update(batch, ctx)
                 record.update_cycles[name] = update.latency_cycles
-                record.edges_inserted = update.edges_inserted
+                structure_inserted[name] = update.edges_inserted
             inserted = reference.update_collect(batch)
-            for u, v, w in inserted:
-                deg_out[u] += 1
-                deg_in[v] += 1
-                in_src.append(u)
-                in_dst.append(v)
-                in_weight.append(w)
-                if not dataset.directed and u != v:
-                    deg_out[v] += 1
-                    deg_in[u] += 1
-                    in_src.append(v)
-                    in_dst.append(u)
-                    in_weight.append(w)
+            # The reference graph is the single source of truth for how
+            # many unique edges the batch contributed; the instrumented
+            # structures must agree with it (and with each other).
+            record.edges_inserted = len(inserted)
+            if __debug__:
+                for name, count in structure_inserted.items():
+                    assert count == len(inserted), (
+                        f"{name} inserted {count} edges where the reference "
+                        f"graph inserted {len(inserted)}"
+                    )
+            if inserted:
+                ins_src, ins_dst, ins_weight = _edge_arrays(inserted)
+                np.add.at(deg_out, ins_src, 1)
+                np.add.at(deg_in, ins_dst, 1)
+                if not dataset.directed:
+                    mirrored = ins_src != ins_dst
+                    np.add.at(deg_out, ins_dst[mirrored], 1)
+                    np.add.at(deg_in, ins_src[mirrored], 1)
+                    ins_src, ins_dst, ins_weight = _with_reverse_interleaved(
+                        ins_src, ins_dst, ins_weight
+                    )
+                incidence.append(ins_src, ins_dst, ins_weight)
             removed: list = []
             if cfg.churn_fraction > 0.0 and len(batch):
                 victims = batch.slice(
@@ -190,32 +306,22 @@ class StreamDriver:
                     deletion = structure.delete(victims, ctx)
                     record.update_cycles[name] += deletion.latency_cycles
                 removed = reference.delete_collect(victims)
-                removed_keys = set()
-                for u, v, w in removed:
-                    deg_out[u] -= 1
-                    deg_in[v] -= 1
-                    removed_keys.add((u, v))
-                    if not dataset.directed and u != v:
-                        deg_out[v] -= 1
-                        deg_in[u] -= 1
-                        removed_keys.add((v, u))
-                if removed_keys:
-                    kept = [
-                        i
-                        for i in range(len(in_src))
-                        if (in_src[i], in_dst[i]) not in removed_keys
-                    ]
-                    in_src = [in_src[i] for i in kept]
-                    in_dst = [in_dst[i] for i in kept]
-                    in_weight = [in_weight[i] for i in kept]
+                if removed:
+                    rem_src, rem_dst, rem_weight = _edge_arrays(removed)
+                    np.add.at(deg_out, rem_src, -1)
+                    np.add.at(deg_in, rem_dst, -1)
+                    if not dataset.directed:
+                        mirrored = rem_src != rem_dst
+                        np.add.at(deg_out, rem_dst[mirrored], -1)
+                        np.add.at(deg_in, rem_src[mirrored], -1)
+                        rem_src, rem_dst, _ = _with_reverse_interleaved(
+                            rem_src, rem_dst, rem_weight
+                        )
+                    incidence.delete(rem_src, rem_dst)
             n = reference.num_nodes
             record.num_nodes = n
             record.num_edges = reference.num_edges
-            in_edges = (
-                np.asarray(in_src, dtype=np.int64),
-                np.asarray(in_dst, dtype=np.int64),
-                np.asarray(in_weight, dtype=np.float64),
-            )
+            in_edges = incidence.view()
 
             # ---- Compute phase: each algorithm under each model ----
             for alg_name in cfg.algorithms:
@@ -263,7 +369,7 @@ class StreamDriver:
                         record.compute_cycles[(alg_name, model, structure_name)] = (
                             cycles
                         )
-            result.records.append(record)
+            result.add_record(record)
             if cfg.progress is not None:
                 cfg.progress(
                     f"{dataset.name} rep {rep} batch {batch_index + 1}/"

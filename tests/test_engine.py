@@ -1,0 +1,296 @@
+"""Tests for the experiment engine: fingerprints, RunStore, sweeps.
+
+Covers the cache-key invalidation matrix (any change to the cost
+model, machine, batch size, shuffle seed, dataset spec, or schema
+version must miss), the columnar ``.npz`` round trip, and the
+engine's core guarantee: cached and parallel execution are
+bit-identical to a direct ``StreamDriver.run``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import sys
+
+from repro.datasets import load_dataset
+from repro.engine import (
+    RunStore,
+    StreamRequest,
+    default_store,
+    fingerprint,
+    run_many,
+    run_stream,
+    stream_run_key,
+)
+from repro.engine.store import CACHE_DIR_ENV
+from repro.errors import ConfigError, SimulationError
+from repro.sim.cost_model import DEFAULT_COST_MODEL
+from repro.streaming import StreamConfig, StreamDriver, StreamResult
+from tests.conftest import SMALL_MACHINE
+
+# The package re-exports the fingerprint *function*, which shadows the
+# submodule on attribute access; go through sys.modules for the module.
+fingerprint_mod = sys.modules["repro.engine.fingerprint"]
+
+DATASET = "Talk"
+SEED = 3
+SIZE_FACTOR = 0.1
+
+
+def small_config(**overrides) -> StreamConfig:
+    kwargs = dict(
+        batch_size=900,
+        machine=SMALL_MACHINE,
+        structures=("AS", "DAH"),
+        algorithms=("BFS",),
+        models=("FS", "INC"),
+        shuffle_seed=5,
+    )
+    kwargs.update(overrides)
+    return StreamConfig(**kwargs)
+
+
+def assert_identical(a: StreamResult, b: StreamResult) -> None:
+    """Every array and accessor of ``a`` and ``b`` is bit-identical."""
+    assert a.dataset == b.dataset
+    assert a.machine == b.machine
+    assert (a.structures, a.algorithms, a.models) == (
+        b.structures,
+        b.algorithms,
+        b.models,
+    )
+    assert a.repetitions == b.repetitions
+    assert a.batches_per_rep == b.batches_per_rep
+    for name in (
+        "edges_attempted",
+        "edges_inserted",
+        "num_nodes",
+        "num_edges",
+        "update_cycles",
+        "compute_cycles",
+        "compute_iterations",
+    ):
+        left, right = getattr(a, name), getattr(b, name)
+        assert left.dtype == right.dtype, name
+        assert np.array_equal(left, right), name
+    for structure in a.structures:
+        assert np.array_equal(a.update_latency(structure), b.update_latency(structure))
+        for algorithm in a.algorithms:
+            for model in a.models:
+                combo = (algorithm, model, structure)
+                assert np.array_equal(a.compute_latency(*combo), b.compute_latency(*combo))
+                assert np.array_equal(a.batch_latency(*combo), b.batch_latency(*combo))
+                assert np.array_equal(a.update_fraction(*combo), b.update_fraction(*combo))
+
+
+class TestFingerprint:
+    def test_identical_configs_share_a_key(self):
+        assert stream_run_key(DATASET, small_config()) == stream_run_key(
+            DATASET, small_config()
+        )
+
+    def test_progress_callback_is_not_content(self):
+        with_progress = small_config(progress=print)
+        assert stream_run_key(DATASET, with_progress) == stream_run_key(
+            DATASET, small_config()
+        )
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"batch_size": 901},
+            {"shuffle_seed": 6},
+            {"repetitions": 2},
+            {"structures": ("AS",)},
+            {"algorithms": ("BFS", "CC")},
+            {"models": ("FS",)},
+            {"churn_fraction": 0.1},
+            {"machine": replace(SMALL_MACHINE, frequency_hz=2.7e9)},
+            {
+                "cost_model": replace(
+                    DEFAULT_COST_MODEL,
+                    probe_element=DEFAULT_COST_MODEL.probe_element + 1,
+                )
+            },
+        ],
+    )
+    def test_config_changes_change_the_key(self, overrides):
+        base = stream_run_key(DATASET, small_config())
+        assert stream_run_key(DATASET, small_config(**overrides)) != base
+
+    def test_dataset_spec_changes_change_the_key(self):
+        base = stream_run_key(DATASET, small_config(), seed=SEED, size_factor=SIZE_FACTOR)
+        config = small_config()
+        assert stream_run_key("LJ", config, seed=SEED, size_factor=SIZE_FACTOR) != base
+        assert stream_run_key(DATASET, config, seed=SEED + 1, size_factor=SIZE_FACTOR) != base
+        assert stream_run_key(DATASET, config, seed=SEED, size_factor=0.2) != base
+
+    def test_schema_version_changes_the_key(self, monkeypatch):
+        base = stream_run_key(DATASET, small_config())
+        monkeypatch.setattr(
+            fingerprint_mod,
+            "RESULT_SCHEMA_VERSION",
+            fingerprint_mod.RESULT_SCHEMA_VERSION + 1,
+        )
+        assert stream_run_key(DATASET, small_config()) != base
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigError):
+            stream_run_key("NotADataset", small_config())
+
+    def test_callables_rejected(self):
+        with pytest.raises(ConfigError):
+            fingerprint({"callback": print})
+
+
+class TestRunStore:
+    def test_round_trip_and_counters(self, tmp_path):
+        store = RunStore(tmp_path / "cache")
+        key = "ab" * 32
+        arrays = {"values": np.arange(6, dtype=np.float64).reshape(2, 3)}
+        assert store.load_arrays(key) is None
+        store.save_arrays(key, {"note": "x"}, arrays)
+        loaded = store.load_arrays(key)
+        assert loaded is not None
+        meta, out = loaded
+        assert meta == {"note": "x"}
+        assert np.array_equal(out["values"], arrays["values"])
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ConfigError):
+            store.path("../escape")
+        with pytest.raises(ConfigError):
+            store.path("UPPER")
+
+    def test_meta_name_reserved(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ConfigError):
+            store.save_arrays("ff", {}, {"__meta__": np.zeros(1)})
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = RunStore(tmp_path)
+        key = "cd" * 32
+        store.path(key).write_bytes(b"not an npz file")
+        assert store.load_arrays(key) is None
+        assert (store.hits, store.misses) == (0, 1)
+
+    def test_default_store_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert default_store() is None
+        assert default_store(tmp_path).root == tmp_path
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert default_store().root == tmp_path / "env"
+        assert default_store(no_cache=True) is None
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """A store populated by one cold engine run, plus the cold result."""
+    store = RunStore(tmp_path_factory.mktemp("runstore"))
+    result = run_stream(
+        DATASET, small_config(), seed=SEED, size_factor=SIZE_FACTOR, store=store
+    )
+    return store, result
+
+
+class TestSweep:
+    def test_cold_run_matches_direct_driver(self, warm_store):
+        _, cold = warm_store
+        dataset = load_dataset(DATASET, seed=SEED, size_factor=SIZE_FACTOR)
+        direct = StreamDriver(small_config()).run(dataset)
+        assert_identical(cold, direct)
+
+    def test_warm_run_is_bit_identical_without_simulating(self, warm_store, monkeypatch):
+        store, cold = warm_store
+
+        def forbidden(self, dataset):
+            raise AssertionError("warm cache must not invoke StreamDriver.run")
+
+        monkeypatch.setattr(StreamDriver, "run", forbidden)
+        hits = store.hits
+        warm = run_stream(
+            DATASET, small_config(), seed=SEED, size_factor=SIZE_FACTOR, store=store
+        )
+        assert store.hits == hits + 1
+        assert_identical(warm, cold)
+
+    def test_changed_cost_model_misses_the_cache(self, warm_store):
+        store, _ = warm_store
+        perturbed = small_config(
+            cost_model=replace(
+                DEFAULT_COST_MODEL, probe_element=DEFAULT_COST_MODEL.probe_element + 1
+            )
+        )
+        request = StreamRequest(
+            DATASET, perturbed, seed=SEED, size_factor=SIZE_FACTOR
+        )
+        assert not store.contains(request.key)
+
+    def test_parallel_execution_is_deterministic(self, warm_store):
+        _, cold = warm_store
+        config = small_config(repetitions=2)
+        parallel = run_stream(
+            DATASET, config, seed=SEED, size_factor=SIZE_FACTOR, jobs=2
+        )
+        dataset = load_dataset(DATASET, seed=SEED, size_factor=SIZE_FACTOR)
+        direct = StreamDriver(config).run(dataset)
+        assert_identical(parallel, direct)
+        assert_identical(
+            StreamResult.merge([parallel]), parallel
+        )
+        # Repetition 0 of the multi-rep run is the single-rep run.
+        assert np.array_equal(parallel.update_cycles[0], cold.update_cycles[0])
+
+    def test_run_many_preserves_request_order(self, tmp_path):
+        store = RunStore(tmp_path)
+        configs = [small_config(batch_size=900), small_config(batch_size=1100)]
+        requests = [
+            StreamRequest(DATASET, c, seed=SEED, size_factor=SIZE_FACTOR)
+            for c in configs
+        ]
+        results = run_many(requests, store=store)
+        assert [r.batches_per_rep for r in results] == [
+            load_dataset(DATASET, seed=SEED, size_factor=SIZE_FACTOR).batch_count(900),
+            load_dataset(DATASET, seed=SEED, size_factor=SIZE_FACTOR).batch_count(1100),
+        ]
+        again = run_many(requests, store=store)
+        for fresh, cached in zip(results, again):
+            assert_identical(fresh, cached)
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            run_many([], jobs=-1)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip_is_exact(self, warm_store, tmp_path):
+        _, cold = warm_store
+        path = cold.to_npz(tmp_path / "result.npz")
+        assert_identical(StreamResult.from_npz(path), cold)
+
+    def test_records_view_survives_round_trip(self, warm_store, tmp_path):
+        _, cold = warm_store
+        loaded = StreamResult.from_npz(cold.to_npz(tmp_path / "result.npz"))
+        for before, after in zip(cold.records, loaded.records):
+            assert before == after
+
+    def test_schema_mismatch_rejected(self, warm_store):
+        _, cold = warm_store
+        meta, arrays = cold.to_payload()
+        meta["schema"] = -1
+        with pytest.raises(SimulationError):
+            StreamResult.from_payload(meta, arrays)
+
+    def test_old_schema_cache_entry_is_a_miss(self, warm_store, tmp_path):
+        store = RunStore(tmp_path)
+        _, cold = warm_store
+        meta, arrays = cold.to_payload()
+        meta["schema"] = meta["schema"] + 1
+        key = "ee" * 32
+        store.save_arrays(key, meta, arrays)
+        assert store.load_stream_result(key) is None
+        assert store.misses == 1
