@@ -1,0 +1,205 @@
+"""Microbenchmark: columnar task kernels vs the legacy object path.
+
+Replays the quick-mode Fig. 9 update workload -- the RMAT stream cut
+into batches, ingested into every data structure and re-scheduled over
+the core-scaling ladder -- through both task representations:
+
+- the legacy path (``SAGA_BENCH_LEGACY_TASKS=1``): one ``Task`` object
+  per edge operation, per-object scheduler loops;
+- the columnar path (default): ``TaskArray`` emission and the array
+  scheduler kernels.
+
+Both paths are checked bit-identical while being timed, then the
+throughputs (scheduled tasks per second of emission + scheduling) and
+the speedup are written to ``BENCH_kernels.json``.  Each path runs
+``--repeat`` cold repetitions (fresh structure and address space every
+time) and the minimum per path is reported, the standard way to keep
+background-load noise out of a single-process comparison.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py
+    PYTHONPATH=src python scripts/bench_kernels.py --min-speedup 3.0
+
+``--min-speedup`` makes the script exit non-zero below the threshold
+(the repo's acceptance bar is 3x on this workload); by default the
+script only reports.  A developer tool, not part of the library.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.datasets import load_dataset
+from repro.graph import ExecutionContext, make_structure
+from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
+from repro.sim.tasks import LEGACY_TASKS_ENV
+
+#: The quick-mode Fig. 9 hardware-profile workload (see repro.cli).
+DATASET = "RMAT"
+SIZE_FACTOR = 0.5
+BATCH_SIZE = 1250
+CORE_LADDER = (4, 8, 16)
+STRUCTURE_NAMES = ("AS", "AC", "Stinger", "DAH", "BA")
+MACHINE = SCALED_SKYLAKE_GOLD_6142
+
+
+def batches_of(dataset, batch_size):
+    edges = dataset.edges
+    return [
+        edges.slice(i, min(i + batch_size, len(edges)))
+        for i in range(0, len(edges), batch_size)
+    ]
+
+
+def run_path(name, batches, max_nodes, directed, legacy):
+    """Ingest + reschedule the workload on one path; return timing/fidelity."""
+    if legacy:
+        os.environ[LEGACY_TASKS_ENV] = "1"
+    else:
+        os.environ.pop(LEGACY_TASKS_ENV, None)
+    structure = make_structure(name, max_nodes, directed=directed)
+    makespans = []
+    ladder = []
+    tasks_scheduled = 0
+    started = time.perf_counter()
+    for batch in batches:
+        ctx = ExecutionContext(machine=MACHINE, keep_tasks=True)
+        result = structure.update(batch, ctx)
+        makespans.append(result.schedule.makespan_cycles)
+        tasks_scheduled += result.schedule.task_count
+        tasks = result.extra["tasks"]
+        for cores in CORE_LADDER:
+            rescheduled = structure.schedule_tasks(
+                tasks,
+                ExecutionContext(machine=MACHINE.with_cores(cores)),
+            )
+            ladder.append(rescheduled.makespan_cycles)
+            tasks_scheduled += rescheduled.task_count
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "tasks_scheduled": tasks_scheduled,
+        "tasks_per_second": tasks_scheduled / elapsed if elapsed else 0.0,
+        "makespans": makespans,
+        "ladder": ladder,
+    }
+
+
+def bench_structure(name, batches, max_nodes, directed, repeat=3):
+    """Benchmark one structure on both paths; min-of-``repeat`` timing.
+
+    Every repetition is a fully cold run -- a fresh structure and
+    address space, no caching between runs -- and the two paths
+    alternate so background load hits both equally.  Taking the minimum
+    per path filters OS scheduling noise out of the comparison.
+    """
+    legacy_runs = []
+    columnar_runs = []
+    for _ in range(repeat):
+        legacy_runs.append(run_path(name, batches, max_nodes, directed, legacy=True))
+        columnar_runs.append(
+            run_path(name, batches, max_nodes, directed, legacy=False)
+        )
+    legacy = min(legacy_runs, key=lambda run: run["seconds"])
+    columnar = min(columnar_runs, key=lambda run: run["seconds"])
+    for runs, ref in ((legacy_runs, legacy), (columnar_runs, columnar)):
+        for run in runs:
+            if run["makespans"] != ref["makespans"] or run["ladder"] != ref["ladder"]:
+                raise SystemExit(f"{name}: repetitions diverge (non-deterministic)")
+    if legacy["makespans"] != columnar["makespans"]:
+        raise SystemExit(f"{name}: columnar makespans diverge from legacy")
+    if legacy["ladder"] != columnar["ladder"]:
+        raise SystemExit(f"{name}: columnar core-ladder makespans diverge")
+    speedup = legacy["seconds"] / columnar["seconds"]
+    row = {
+        "structure": name,
+        "batches": len(batches),
+        "tasks_scheduled": columnar["tasks_scheduled"],
+        "legacy_seconds": round(legacy["seconds"], 4),
+        "columnar_seconds": round(columnar["seconds"], 4),
+        "legacy_tasks_per_second": round(legacy["tasks_per_second"]),
+        "columnar_tasks_per_second": round(columnar["tasks_per_second"]),
+        "speedup": round(speedup, 2),
+    }
+    print(
+        f"{name:8s} {row['batches']:3d} batches  "
+        f"legacy {legacy['seconds']:6.2f}s  "
+        f"columnar {columnar['seconds']:6.2f}s  "
+        f"speedup {speedup:5.2f}x  bit-identical"
+    )
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_kernels.json", help="result file path"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) if the overall speedup is below this factor",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="cold repetitions per path; the minimum time is reported",
+    )
+    args = parser.parse_args(argv)
+
+    dataset = load_dataset(DATASET, seed=0, size_factor=SIZE_FACTOR)
+    batches = batches_of(dataset, BATCH_SIZE)
+    print(
+        f"{DATASET} x{SIZE_FACTOR}: {len(dataset.edges)} edges, "
+        f"{len(batches)} batches of {BATCH_SIZE}, "
+        f"core ladder {CORE_LADDER}"
+    )
+    rows = [
+        bench_structure(
+            name, batches, dataset.max_nodes, dataset.directed, repeat=args.repeat
+        )
+        for name in STRUCTURE_NAMES
+    ]
+    legacy_total = sum(r["legacy_seconds"] for r in rows)
+    columnar_total = sum(r["columnar_seconds"] for r in rows)
+    overall = legacy_total / columnar_total
+    print(
+        f"overall  legacy {legacy_total:.2f}s  columnar {columnar_total:.2f}s  "
+        f"speedup {overall:.2f}x"
+    )
+    payload = {
+        "workload": {
+            "dataset": DATASET,
+            "size_factor": SIZE_FACTOR,
+            "batch_size": BATCH_SIZE,
+            "core_ladder": list(CORE_LADDER),
+            "edges": len(dataset.edges),
+            "repeat": args.repeat,
+        },
+        "python": platform.python_version(),
+        "structures": rows,
+        "legacy_seconds": round(legacy_total, 4),
+        "columnar_seconds": round(columnar_total, 4),
+        "speedup": round(overall, 2),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    if args.min_speedup and overall < args.min_speedup:
+        print(
+            f"FAIL: speedup {overall:.2f}x below required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

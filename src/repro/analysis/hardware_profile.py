@@ -44,6 +44,7 @@ from repro.sim.cache import CacheHierarchy
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.counters import PhaseCounters, derive_counters
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
+from repro.sim.profiling import PROFILER
 from repro.sim.scheduler import ScheduleResult
 from repro.sim.trace import TraceRecorder
 from repro.streaming.batching import make_batches
@@ -378,25 +379,26 @@ class HardwareProfiler:
             # ---- compute phase (INC, averaged over algorithms) -----
             compute_counter_list = []
             for alg_name in self.algorithms:
-                algorithm = get_algorithm(alg_name)
-                affected = algorithm.affected_from_batch(batch, reference)
-                run = algorithm.inc_run(
-                    reference, states[alg_name], affected, source=source
-                )
-                for cores, sctx in scaling_ctxs.items():
+                with PROFILER.phase("compute"):
+                    algorithm = get_algorithm(alg_name)
+                    affected = algorithm.affected_from_batch(batch, reference)
+                    run = algorithm.inc_run(
+                        reference, states[alg_name], affected, source=source
+                    )
+                    for cores, sctx in scaling_ctxs.items():
+                        pricing = price_compute_run(
+                            run, structure_name, deg_in[:n], deg_out[:n], sctx,
+                            neighbor_degree_query=algorithm.neighbor_degree_query,
+                        )
+                        cell.scaling_cycles["compute"][cores] += pricing.latency_cycles
                     pricing = price_compute_run(
-                        run, structure_name, deg_in[:n], deg_out[:n], sctx,
+                        run, structure_name, deg_in[:n], deg_out[:n], full_ctx,
                         neighbor_degree_query=algorithm.neighbor_degree_query,
                     )
-                    cell.scaling_cycles["compute"][cores] += pricing.latency_cycles
-                pricing = price_compute_run(
-                    run, structure_name, deg_in[:n], deg_out[:n], full_ctx,
-                    neighbor_degree_query=algorithm.neighbor_degree_query,
-                )
-                trace, task_thread = self._compute_trace(
-                    run, structure, reference, properties, alg_name,
-                    visited_region, threads,
-                )
+                    trace, task_thread = self._compute_trace(
+                        run, structure, reference, properties, alg_name,
+                        visited_region, threads,
+                    )
                 sampled = trace.sample(self.trace_cap, seed=batch_index)
                 scale = max(1.0, len(trace) / max(len(sampled), 1))
                 stats = hierarchy.replay(sampled, task_thread)

@@ -14,8 +14,10 @@ Every subcommand shares the experiment-engine flags: ``--cache-dir``
 points the content-addressed RunStore at a directory (a second
 identical invocation then regenerates every artifact from cache,
 bit-identically, without simulating), ``--no-cache`` disables the
-cache even when ``SAGA_BENCH_CACHE_DIR`` is set, and ``--jobs N``
-fans sweep cells over N worker processes.
+cache even when ``SAGA_BENCH_CACHE_DIR`` is set, ``--jobs N`` fans
+sweep cells over N worker processes, and ``--profile`` prints a
+per-phase wall-time breakdown (emission / schedule / cache-replay /
+compute) after the run.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ from repro.analysis import report
 from repro.datasets import dataset_names
 from repro.engine import default_store, run_stream
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
+from repro.sim.profiling import PROFILER
 from repro.streaming import StreamConfig
 
 SOFTWARE_ARTIFACTS = ("table3", "fig6", "fig7", "fig8")
@@ -210,6 +213,13 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="run sweep cells across N worker processes",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase wall-time breakdown (emission / schedule / "
+             "cache-replay / compute) after the run; in-process only, so "
+             "cells executed in --jobs worker processes are not captured",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -258,7 +268,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        PROFILER.reset()
+        PROFILER.enable()
+    try:
+        return args.func(args)
+    finally:
+        if profiling:
+            print(PROFILER.report())
+            PROFILER.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

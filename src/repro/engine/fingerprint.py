@@ -31,7 +31,11 @@ from repro.streaming.results import RESULT_SCHEMA_VERSION
 #: Version of the *keying* scheme itself.  Bump when the meaning of a
 #: fingerprint changes (e.g. a new field starts to matter); combined
 #: with :data:`RESULT_SCHEMA_VERSION` so either bump invalidates.
-KEY_SCHEMA_VERSION = 1
+#: v2: columnar task kernels became the default emission/scheduling
+#: path.  Results are bit-identical to v1 by design, but the guarantee
+#: is now enforced by a different code path, so cached v1 entries are
+#: deliberately retired rather than trusted across the rewrite.
+KEY_SCHEMA_VERSION = 2
 
 
 def canonical(value: Any) -> Any:

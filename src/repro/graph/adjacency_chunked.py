@@ -14,13 +14,128 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StructureError
+from repro.graph.adjacency_shared import _price_vector_ops
 from repro.graph.base import ExecutionContext, GraphDataStructure
-from repro.graph.vectorstore import VectorStore
-from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task
+from repro.graph.vectorstore import VectorStore, bulk_ingest, row_layout
+from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task, TaskArray
 
 #: Default chunk count; matches the paper's 64 hardware threads.
 DEFAULT_CHUNKS = 64
+
+
+def chunk_overhead_array(cost, batch_size: int, chunks: int) -> TaskArray:
+    """The per-batch routing overhead of chunked structures, columnar.
+
+    Mirrors ``_batch_overhead_tasks``: every chunk scans the whole
+    batch once per store direction to find the edges it owns.
+    """
+    directions = 2  # out+in stores (directed) or both orientations
+    route = cost.route_edge * batch_size * directions
+    return TaskArray.build(
+        chunks,
+        unlocked_work=route,
+        chunk=np.arange(chunks, dtype=np.int64),
+        overhead=True,
+    )
+
+
+class _ChunkedEmitter:
+    """Columnar task emitter for AC: lockless chunk-pinned scans."""
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_cost",
+        "_chunks",
+        "_delete",
+        "_directed",
+        "_layout",
+        "scanned",
+        "hit",
+        "aux",
+        "chunk",
+    )
+
+    def __init__(self, structure: "AdjacencyListChunked", delete: bool) -> None:
+        self._out = structure._out
+        self._in = structure._in
+        self._cost = structure.cost
+        self._chunks = structure.chunks
+        self._delete = delete
+        self._directed = structure.directed
+        self._layout = None  # (src, dst) of a fused batch, for finish()
+        self.scanned: List[int] = []
+        self.hit: List[bool] = []
+        self.aux: List[int] = []  # grew_from (insert) / moved (delete)
+        self.chunk: List[int] = []
+
+    @property
+    def rows(self) -> int:
+        return len(self.scanned)
+
+    def ingest_batch(self, batch) -> int:
+        """Fused untraced ingest; chunk ids are rebuilt in ``finish``."""
+        self._layout = (batch.src, batch.dst)
+        return bulk_ingest(
+            self._out,
+            self._in if self._directed else self._out,
+            batch.src.tolist(),
+            batch.dst.tolist(),
+            None if self._delete else batch.weight.tolist(),
+            self._directed,
+            self._delete,
+            self.scanned,
+            self.hit,
+            self.aux,
+        )
+
+    def insert_out(self, src, dst, weight, recorder) -> bool:
+        return self._insert(self._out, src, dst, weight, recorder)
+
+    def insert_in(self, src, dst, weight, recorder) -> bool:
+        return self._insert(self._in, src, dst, weight, recorder)
+
+    def _insert(self, store, src, dst, weight, recorder) -> bool:
+        outcome = store.insert(src, dst, weight, recorder)
+        self.scanned.append(outcome.scanned)
+        self.hit.append(outcome.inserted)
+        self.aux.append(outcome.grew_from)
+        self.chunk.append(src % self._chunks)
+        return outcome.inserted
+
+    def delete_out(self, src, dst, recorder) -> bool:
+        return self._remove(self._out, src, dst, recorder)
+
+    def delete_in(self, src, dst, recorder) -> bool:
+        return self._remove(self._in, src, dst, recorder)
+
+    def _remove(self, store, src, dst, recorder) -> bool:
+        outcome = store.remove(src, dst, recorder)
+        self.scanned.append(outcome.scanned)
+        self.hit.append(outcome.removed)
+        self.aux.append(outcome.moved)
+        self.chunk.append(src % self._chunks)
+        return outcome.removed
+
+    def finish(self, batch_size: int) -> TaskArray:
+        if self._layout is not None:
+            row_src, _ = row_layout(*self._layout, self._directed)
+            chunk = row_src % self._chunks
+        else:
+            chunk = np.asarray(self.chunk, dtype=np.int64)
+        edges = TaskArray.build(
+            self.rows,
+            unlocked_work=_price_vector_ops(
+                self._cost, self.scanned, self.hit, self.aux, self._delete
+            ),
+            chunk=chunk,
+        )
+        return TaskArray.concatenate(
+            [edges, chunk_overhead_array(self._cost, batch_size, self._chunks)]
+        )
 
 
 class AdjacencyListChunked(GraphDataStructure):
@@ -55,6 +170,9 @@ class AdjacencyListChunked(GraphDataStructure):
         return u % self.chunks
 
     # -- mutation ------------------------------------------------------
+
+    def _make_emitter(self, delete: bool) -> _ChunkedEmitter:
+        return _ChunkedEmitter(self, delete)
 
     def _insert_out(self, src, dst, weight, recorder):
         return self._chunked_insert(self._out, src, dst, weight, recorder)

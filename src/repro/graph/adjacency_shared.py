@@ -13,13 +13,138 @@ from __future__ import annotations
 
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from repro.graph.base import (
     ExecutionContext,
     GraphDataStructure,
     IN_STORE_LOCK_BASE,
 )
-from repro.graph.vectorstore import VectorStore
-from repro.sim.scheduler import DynamicScheduler, ScheduleResult, Task
+from repro.graph.vectorstore import VectorStore, bulk_ingest, row_layout
+from repro.sim.scheduler import DynamicScheduler, ScheduleResult, Task, TaskArray
+
+
+class _SharedEmitter:
+    """Columnar task emitter for AS: locked vector-store operations.
+
+    Records, per operation, the slots scanned, whether the store
+    changed, the growth/backfill count, and the lock id; ``finish``
+    prices all rows with the same arithmetic (and the same operation
+    order, for bit-identity) as the per-object path.
+    """
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_cost",
+        "_delete",
+        "_directed",
+        "_layout",
+        "scanned",
+        "hit",
+        "aux",
+        "lock",
+    )
+
+    def __init__(self, structure: "AdjacencyListShared", delete: bool) -> None:
+        self._out = structure._out
+        self._in = structure._in
+        self._cost = structure.cost
+        self._delete = delete
+        self._directed = structure.directed
+        self._layout = None  # (src, dst) of a fused batch, for finish()
+        self.scanned: List[int] = []
+        self.hit: List[bool] = []
+        self.aux: List[int] = []  # grew_from (insert) / moved (delete)
+        self.lock: List[int] = []
+
+    @property
+    def rows(self) -> int:
+        return len(self.scanned)
+
+    def ingest_batch(self, batch) -> int:
+        """Fused untraced ingest: one flat pass over the whole batch.
+
+        Lock ids are not appended per operation; they depend only on
+        the batch content and are rebuilt vectorized in ``finish``.
+        """
+        self._layout = (batch.src, batch.dst)
+        return bulk_ingest(
+            self._out,
+            self._in if self._directed else self._out,
+            batch.src.tolist(),
+            batch.dst.tolist(),
+            None if self._delete else batch.weight.tolist(),
+            self._directed,
+            self._delete,
+            self.scanned,
+            self.hit,
+            self.aux,
+        )
+
+    def insert_out(self, src, dst, weight, recorder) -> bool:
+        return self._insert(self._out, src, dst, weight, recorder, src)
+
+    def insert_in(self, src, dst, weight, recorder) -> bool:
+        return self._insert(
+            self._in, src, dst, weight, recorder, IN_STORE_LOCK_BASE + src
+        )
+
+    def _insert(self, store, src, dst, weight, recorder, lock) -> bool:
+        outcome = store.insert(src, dst, weight, recorder)
+        self.scanned.append(outcome.scanned)
+        self.hit.append(outcome.inserted)
+        self.aux.append(outcome.grew_from)
+        self.lock.append(lock)
+        return outcome.inserted
+
+    def delete_out(self, src, dst, recorder) -> bool:
+        return self._remove(self._out, src, dst, recorder, src)
+
+    def delete_in(self, src, dst, recorder) -> bool:
+        return self._remove(self._in, src, dst, recorder, IN_STORE_LOCK_BASE + src)
+
+    def _remove(self, store, src, dst, recorder, lock) -> bool:
+        outcome = store.remove(src, dst, recorder)
+        self.scanned.append(outcome.scanned)
+        self.hit.append(outcome.removed)
+        self.aux.append(outcome.moved)
+        self.lock.append(lock)
+        return outcome.removed
+
+    def finish(self, batch_size: int) -> TaskArray:
+        if self._layout is not None:
+            row_src, mirror = row_layout(*self._layout, self._directed)
+            if self._directed:
+                lock = np.where(mirror, IN_STORE_LOCK_BASE + row_src, row_src)
+            else:
+                lock = row_src
+        else:
+            lock = np.asarray(self.lock, dtype=np.int64)
+        return TaskArray.build(
+            self.rows,
+            locked_work=_price_vector_ops(
+                self._cost, self.scanned, self.hit, self.aux, self._delete
+            ),
+            lock=lock,
+        )
+
+
+def _price_vector_ops(cost, scanned, hit, aux, delete) -> np.ndarray:
+    """Vectorized pricing of vector-store scans (shared by AS and AC).
+
+    Replicates the scalar expressions term by term: the probe charge,
+    then the slot charge on changed rows, then the grow/backfill charge.
+    """
+    work = cost.probe_element * np.asarray(scanned, dtype=np.float64)
+    hit = np.asarray(hit, dtype=bool)
+    aux = np.asarray(aux, dtype=np.int64)
+    if delete:
+        work[hit] += cost.insert_slot * (1 + aux[hit])  # clear + backfill
+    else:
+        work[hit] += cost.insert_slot
+        work[hit] += cost.vector_grow_per_element * aux[hit].astype(np.float64)
+    return work
 
 
 class AdjacencyListShared(GraphDataStructure):
@@ -40,6 +165,9 @@ class AdjacencyListShared(GraphDataStructure):
         self._in = VectorStore(max_nodes, self.space, "AS.in") if directed else None
 
     # -- mutation ------------------------------------------------------
+
+    def _make_emitter(self, delete: bool) -> _SharedEmitter:
+        return _SharedEmitter(self, delete)
 
     def _insert_out(self, src, dst, weight, recorder):
         return self._locked_insert(self._out, src, dst, weight, recorder, lock=src)

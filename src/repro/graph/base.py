@@ -13,6 +13,14 @@ phase latency is the scheduler makespan over the charged tasks.
 
 Edges are ingested uniquely: as in the paper, every insert first
 searches for the edge and only inserts on a negative search.
+
+Task emission is columnar by default: each structure provides a *task
+emitter* that records the primitive counts of every store operation
+(slots scanned, blocks chased, entries rehashed...) and prices them in
+bulk into a :class:`~repro.sim.tasks.TaskArray` with vectorized
+arithmetic, instead of allocating one ``Task`` object per edge.  The
+legacy object path remains selectable with ``SAGA_BENCH_LEGACY_TASKS=1``
+and produces bit-identical schedules (see ``tests/test_task_kernels.py``).
 """
 
 from __future__ import annotations
@@ -21,12 +29,21 @@ import abc
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StructureError
 from repro.graph.edge import EdgeBatch
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
 from repro.sim.memory import AddressSpace
-from repro.sim.scheduler import ScheduleResult, Task
+from repro.sim.profiling import PROFILER
+from repro.sim.scheduler import (
+    ScheduleResult,
+    Task,
+    TaskArray,
+    Tasks,
+    use_legacy_tasks,
+)
 from repro.sim.trace import MemoryTrace, NullRecorder, TraceRecorder
 
 #: Lock-namespace offset separating out-store locks from in-store locks.
@@ -46,8 +63,8 @@ class ExecutionContext:
     threads: Optional[int] = None
     cost_model: CostModel = DEFAULT_COST_MODEL
     recorder: Optional[TraceRecorder] = None
-    #: Keep the per-edge task list in ``UpdateResult.extra["tasks"]``
-    #: so callers can re-schedule it (e.g. the core-scaling sweep).
+    #: Keep the batch's tasks in ``UpdateResult.extra["tasks"]`` so
+    #: callers can re-schedule them (e.g. the core-scaling sweep).
     keep_tasks: bool = False
 
     def __post_init__(self) -> None:
@@ -81,6 +98,49 @@ class UpdateResult:
 
     def latency_seconds(self, machine: MachineConfig) -> float:
         return machine.cycles_to_seconds(self.latency_cycles)
+
+
+class _ObjectEmitter:
+    """Fallback columnar emitter: runs the object path, boxes at the end.
+
+    Structures that do not define their own emitter still get a
+    :class:`TaskArray` out of the columnar ingest loop -- they just pay
+    the per-edge ``Task`` allocation they would have paid anyway.
+    """
+
+    __slots__ = ("_structure", "_tasks")
+
+    def __init__(self, structure: "GraphDataStructure") -> None:
+        self._structure = structure
+        self._tasks: List[Task] = []
+
+    @property
+    def rows(self) -> int:
+        return len(self._tasks)
+
+    def insert_out(self, src, dst, weight, recorder) -> bool:
+        task, changed = self._structure._insert_out(src, dst, weight, recorder)
+        self._tasks.append(task)
+        return changed
+
+    def insert_in(self, src, dst, weight, recorder) -> bool:
+        task, changed = self._structure._insert_in(src, dst, weight, recorder)
+        self._tasks.append(task)
+        return changed
+
+    def delete_out(self, src, dst, recorder) -> bool:
+        task, changed = self._structure._delete_out(src, dst, recorder)
+        self._tasks.append(task)
+        return changed
+
+    def delete_in(self, src, dst, recorder) -> bool:
+        task, changed = self._structure._delete_in(src, dst, recorder)
+        self._tasks.append(task)
+        return changed
+
+    def finish(self, batch_size: int) -> TaskArray:
+        self._tasks.extend(self._structure._batch_overhead_tasks(batch_size))
+        return TaskArray.from_tasks(self._tasks)
 
 
 class GraphDataStructure(abc.ABC):
@@ -136,32 +196,10 @@ class GraphDataStructure(abc.ABC):
         if ctx is None:
             ctx = ExecutionContext()
         recorder = ctx.effective_recorder
-        tasks: List[Task] = []
-        inserted = 0
-        duplicates = 0
-        for i in range(len(batch)):
-            u = int(batch.src[i])
-            v = int(batch.dst[i])
-            w = float(batch.weight[i])
-            self._check_vertex(u)
-            self._check_vertex(v)
-            recorder.begin_task(len(tasks))
-            task, was_new = self._insert_out(u, v, w, recorder)
-            tasks.append(task)
-            if was_new:
-                inserted += 1
-                self._num_edges += 1
-            else:
-                duplicates += 1
-            if u != v or self.directed:
-                recorder.begin_task(len(tasks))
-                if self.directed:
-                    tasks.append(self._insert_in(v, u, w, recorder)[0])
-                else:
-                    tasks.append(self._insert_out(v, u, w, recorder)[0])
-            self._max_seen_node = max(self._max_seen_node, u, v)
-        tasks.extend(self._batch_overhead_tasks(len(batch)))
-        schedule = self._schedule(tasks, ctx)
+        with PROFILER.phase("emission"):
+            tasks, inserted, duplicates = self._ingest(batch, recorder, delete=False)
+        with PROFILER.phase("schedule"):
+            schedule = self._schedule(tasks, ctx)
         trace = recorder.finalize() if ctx.recorder is not None else None
         result = UpdateResult(
             schedule=schedule,
@@ -188,30 +226,10 @@ class GraphDataStructure(abc.ABC):
         if ctx is None:
             ctx = ExecutionContext()
         recorder = ctx.effective_recorder
-        tasks: List[Task] = []
-        removed = 0
-        missing = 0
-        for i in range(len(batch)):
-            u = int(batch.src[i])
-            v = int(batch.dst[i])
-            self._check_vertex(u)
-            self._check_vertex(v)
-            recorder.begin_task(len(tasks))
-            task, was_removed = self._delete_out(u, v, recorder)
-            tasks.append(task)
-            if was_removed:
-                removed += 1
-                self._num_edges -= 1
-            else:
-                missing += 1
-            if u != v or self.directed:
-                recorder.begin_task(len(tasks))
-                if self.directed:
-                    tasks.append(self._delete_in(v, u, recorder)[0])
-                else:
-                    tasks.append(self._delete_out(v, u, recorder)[0])
-        tasks.extend(self._batch_overhead_tasks(len(batch)))
-        schedule = self._schedule(tasks, ctx)
+        with PROFILER.phase("emission"):
+            tasks, removed, missing = self._ingest(batch, recorder, delete=True)
+        with PROFILER.phase("schedule"):
+            schedule = self._schedule(tasks, ctx)
         trace = recorder.finalize() if ctx.recorder is not None else None
         result = UpdateResult(
             schedule=schedule,
@@ -225,6 +243,138 @@ class GraphDataStructure(abc.ABC):
             result.extra["tasks"] = tasks
         return result
 
+    def _ingest(
+        self, batch: EdgeBatch, recorder, delete: bool
+    ) -> Tuple[Tasks, int, int]:
+        """Apply ``batch`` to the stores and emit its tasks.
+
+        Returns ``(tasks, positive, negative)`` where *positive* counts
+        edges actually inserted (or removed) and *negative* counts
+        duplicates (or misses).
+        """
+        if use_legacy_tasks():
+            return self._ingest_objects(batch, recorder, delete)
+        return self._ingest_columnar(batch, recorder, delete)
+
+    def _ingest_objects(
+        self, batch: EdgeBatch, recorder, delete: bool
+    ) -> Tuple[List[Task], int, int]:
+        """The legacy per-edge object loop (one ``Task`` per operation)."""
+        tasks: List[Task] = []
+        positive = 0
+        negative = 0
+        for i in range(len(batch)):
+            u = int(batch.src[i])
+            v = int(batch.dst[i])
+            self._check_vertex(u)
+            self._check_vertex(v)
+            recorder.begin_task(len(tasks))
+            if delete:
+                task, changed = self._delete_out(u, v, recorder)
+            else:
+                w = float(batch.weight[i])
+                task, changed = self._insert_out(u, v, w, recorder)
+            tasks.append(task)
+            if changed:
+                positive += 1
+                self._num_edges += -1 if delete else 1
+            else:
+                negative += 1
+            if u != v or self.directed:
+                recorder.begin_task(len(tasks))
+                if delete:
+                    if self.directed:
+                        tasks.append(self._delete_in(v, u, recorder)[0])
+                    else:
+                        tasks.append(self._delete_out(v, u, recorder)[0])
+                else:
+                    if self.directed:
+                        tasks.append(self._insert_in(v, u, w, recorder)[0])
+                    else:
+                        tasks.append(self._insert_out(v, u, w, recorder)[0])
+            if not delete:
+                self._max_seen_node = max(self._max_seen_node, u, v)
+        tasks.extend(self._batch_overhead_tasks(len(batch)))
+        return tasks, positive, negative
+
+    def _ingest_columnar(
+        self, batch: EdgeBatch, recorder, delete: bool
+    ) -> Tuple[TaskArray, int, int]:
+        """The columnar hot path: count per edge, price in bulk.
+
+        Store mutation is shared with the object path (same store
+        methods, same call order, same trace); only task materialization
+        differs.  The whole batch is range-checked up front, so an
+        out-of-range vertex raises before any edge is applied (the
+        object path raises mid-batch).
+        """
+        n = len(batch)
+        self._check_batch(batch)
+        emitter = self._make_emitter(delete)
+        tracing = recorder.enabled
+        directed = self.directed
+        # Untraced batches take the fused bulk loop when the emitter
+        # provides one (store internals inlined, no per-op dispatch);
+        # traced batches keep the per-edge loop, whose store methods
+        # emit the memory accesses.
+        bulk = None if tracing else getattr(emitter, "ingest_batch", None)
+        if bulk is not None:
+            positive = bulk(batch)
+        elif delete:
+            src = batch.src.tolist()
+            dst = batch.dst.tolist()
+            positive = 0
+            op_out = emitter.delete_out
+            op_in = emitter.delete_in if directed else emitter.delete_out
+            for i in range(n):
+                u = src[i]
+                v = dst[i]
+                if tracing:
+                    recorder.begin_task(emitter.rows)
+                if op_out(u, v, recorder):
+                    positive += 1
+                if u != v or directed:
+                    if tracing:
+                        recorder.begin_task(emitter.rows)
+                    op_in(v, u, recorder)
+        else:
+            src = batch.src.tolist()
+            dst = batch.dst.tolist()
+            weight = batch.weight.tolist()
+            positive = 0
+            op_out = emitter.insert_out
+            op_in = emitter.insert_in if directed else emitter.insert_out
+            for i in range(n):
+                u = src[i]
+                v = dst[i]
+                w = weight[i]
+                if tracing:
+                    recorder.begin_task(emitter.rows)
+                if op_out(u, v, w, recorder):
+                    positive += 1
+                if u != v or directed:
+                    if tracing:
+                        recorder.begin_task(emitter.rows)
+                    op_in(v, u, w, recorder)
+        if delete:
+            self._num_edges -= positive
+        else:
+            self._num_edges += positive
+            if n:
+                self._max_seen_node = max(
+                    self._max_seen_node, int(batch.src.max()), int(batch.dst.max())
+                )
+        return emitter.finish(n), positive, n - positive
+
+    def _make_emitter(self, delete: bool):
+        """The columnar task emitter for one batch (per structure).
+
+        The default wraps the object path; structures override this
+        with an emitter that records primitive counts and prices them
+        vectorized in ``finish()``.
+        """
+        return _ObjectEmitter(self)
+
     def _delete_out(self, src: int, dst: int, recorder) -> Tuple[Task, bool]:
         """Remove ``src -> dst`` from the out-store (per structure)."""
         raise StructureError(f"{self.name} does not support deletion")
@@ -233,14 +383,15 @@ class GraphDataStructure(abc.ABC):
         """Remove ``src -> dst`` from the in-store (per structure)."""
         raise StructureError(f"{self.name} does not support deletion")
 
-    def schedule_tasks(self, tasks: List[Task], ctx: ExecutionContext) -> ScheduleResult:
-        """Re-schedule a kept task list under a different context.
+    def schedule_tasks(self, tasks: Tasks, ctx: ExecutionContext) -> ScheduleResult:
+        """Re-schedule kept tasks under a different context.
 
-        Task lists depend only on graph content, not on thread count,
-        so one ingest can be re-priced at many machine shapes (the
-        Fig. 9(a) core-scaling sweep).
+        Tasks depend only on graph content, not on thread count, so one
+        ingest can be re-priced at many machine shapes (the Fig. 9(a)
+        core-scaling sweep).
         """
-        return self._schedule(tasks, ctx)
+        with PROFILER.phase("schedule"):
+            return self._schedule(tasks, ctx)
 
     # ------------------------------------------------------------------
     # Queries
@@ -348,7 +499,7 @@ class GraphDataStructure(abc.ABC):
         ...
 
     @abc.abstractmethod
-    def _schedule(self, tasks: List[Task], ctx: ExecutionContext) -> ScheduleResult:
+    def _schedule(self, tasks: Tasks, ctx: ExecutionContext) -> ScheduleResult:
         """Turn the batch's tasks into a makespan (structure style)."""
 
     def _batch_overhead_tasks(self, batch_size: int) -> List[Task]:
@@ -362,6 +513,19 @@ class GraphDataStructure(abc.ABC):
             raise StructureError(
                 f"vertex {v} out of range [0, {self.max_nodes}) for {self.name}"
             )
+
+    def _check_batch(self, batch: EdgeBatch) -> None:
+        """Vectorized range check over a whole batch's endpoints."""
+        if len(batch) == 0:
+            return
+        src = batch.src
+        dst = batch.dst
+        bad_src = (src < 0) | (src >= self.max_nodes)
+        bad_dst = (dst < 0) | (dst >= self.max_nodes)
+        bad = bad_src | bad_dst
+        if bad.any():
+            i = int(np.argmax(bad))
+            self._check_vertex(int(src[i]) if bad_src[i] else int(dst[i]))
 
     def degrees_snapshot(self) -> Tuple[List[int], List[int]]:
         """(in-degrees, out-degrees) for all current vertices."""

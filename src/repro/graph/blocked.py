@@ -26,10 +26,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StructureError
+from repro.graph.adjacency_chunked import chunk_overhead_array
 from repro.graph.base import ExecutionContext, GraphDataStructure
+from repro.graph.vectorstore import bulk_ingest, row_layout
 from repro.sim.memory import AddressSpace, Region
-from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task
+from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task, TaskArray
 
 ENTRY_BYTES = 8
 MIN_SEGMENT = 4
@@ -46,6 +50,8 @@ class _SegmentPool:
         self.space = space
         self.label = label
         self._free: List[Region] = []
+        self._alloc_bytes = capacity * ENTRY_BYTES
+        self._alloc_label = f"{label}.seg{capacity}"
         self.allocations = 0
         self.reuses = 0
 
@@ -54,9 +60,7 @@ class _SegmentPool:
             self.reuses += 1
             return self._free.pop()
         self.allocations += 1
-        return self.space.alloc(
-            self.capacity * ENTRY_BYTES, f"{self.label}.seg{self.capacity}"
-        )
+        return self.space.alloc(self._alloc_bytes, self._alloc_label)
 
     def release(self, region: Region) -> None:
         self._free.append(region)
@@ -113,7 +117,7 @@ class _BlockedStore:
     def _relocate(self, src: int) -> int:
         """Move ``src`` to a doubled segment; returns entries copied."""
         old_capacity = self._capacity[src]
-        new_capacity = max(MIN_SEGMENT, old_capacity * 2)
+        new_capacity = old_capacity * 2 if old_capacity else MIN_SEGMENT
         old_segment = self._segment[src]
         self._segment[src] = self._pool(new_capacity).acquire()
         self._capacity[src] = new_capacity
@@ -136,6 +140,10 @@ class _BlockedStore:
         del index[dst]
         return position + 1, True
 
+    def _bulk_parts(self):
+        """(neighbors, index, capacity, grow) for :func:`bulk_ingest`."""
+        return self._neighbors, self._index, self._capacity, self._relocate
+
     def neighbors(self, u: int) -> List[Tuple[int, float]]:
         return self._neighbors[u]
 
@@ -154,6 +162,115 @@ class _BlockedStore:
             capacity: (pool.allocations, pool.reuses)
             for capacity, pool in sorted(self._pools.items())
         }
+
+
+class _BlockedEmitter:
+    """Columnar task emitter for BA: segment scans plus relocations."""
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_cost",
+        "_chunks",
+        "_delete",
+        "_directed",
+        "_layout",
+        "scanned",
+        "hit",
+        "relocated",
+        "chunk",
+    )
+
+    def __init__(self, structure: "BlockedAdjacency", delete: bool) -> None:
+        self._out = structure._out
+        self._in = structure._in
+        self._cost = structure.cost
+        self._chunks = structure.chunks
+        self._delete = delete
+        self._directed = structure.directed
+        self._layout = None  # (src, dst) of a fused batch, for finish()
+        self.scanned: List[int] = []
+        self.hit: List[bool] = []
+        self.relocated: List[int] = []
+        self.chunk: List[int] = []
+
+    @property
+    def rows(self) -> int:
+        return len(self.scanned)
+
+    def ingest_batch(self, batch) -> int:
+        """Fused untraced ingest; chunk ids are rebuilt in ``finish``.
+
+        BA prices deletions as a flat clear+backfill, so the moved
+        count is not recorded (``record_moved=False``).
+        """
+        self._layout = (batch.src, batch.dst)
+        return bulk_ingest(
+            self._out,
+            self._in if self._directed else self._out,
+            batch.src.tolist(),
+            batch.dst.tolist(),
+            None if self._delete else batch.weight.tolist(),
+            self._directed,
+            self._delete,
+            self.scanned,
+            self.hit,
+            self.relocated,
+            record_moved=False,
+        )
+
+    def insert_out(self, src, dst, weight, recorder) -> bool:
+        return self._insert(self._out, src, dst, weight, recorder)
+
+    def insert_in(self, src, dst, weight, recorder) -> bool:
+        return self._insert(self._in, src, dst, weight, recorder)
+
+    def _insert(self, store, src, dst, weight, recorder) -> bool:
+        scanned, inserted, relocated = store.insert(src, dst, weight, recorder)
+        self.scanned.append(scanned)
+        self.hit.append(inserted)
+        self.relocated.append(relocated)
+        self.chunk.append(src % self._chunks)
+        return inserted
+
+    def delete_out(self, src, dst, recorder) -> bool:
+        return self._remove(self._out, src, dst, recorder)
+
+    def delete_in(self, src, dst, recorder) -> bool:
+        return self._remove(self._in, src, dst, recorder)
+
+    def _remove(self, store, src, dst, recorder) -> bool:
+        scanned, removed = store.remove(src, dst, recorder)
+        self.scanned.append(scanned)
+        self.hit.append(removed)
+        self.relocated.append(0)
+        self.chunk.append(src % self._chunks)
+        return removed
+
+    def finish(self, batch_size: int) -> TaskArray:
+        cost = self._cost
+        work = cost.probe_element * np.asarray(self.scanned, dtype=np.float64)
+        hit = np.asarray(self.hit, dtype=bool)
+        if self._delete:
+            work[hit] += 2 * cost.insert_slot  # clear + backfill
+        else:
+            work[hit] += cost.insert_slot
+            # Relocation copies the whole segment (Hornet's memcpy).
+            relocated = np.asarray(self.relocated, dtype=np.float64)
+            work[hit] += cost.vector_grow_per_element * relocated[hit]
+        if self._layout is not None:
+            row_src, _ = row_layout(*self._layout, self._directed)
+            chunk = row_src % self._chunks
+        else:
+            chunk = np.asarray(self.chunk, dtype=np.int64)
+        edges = TaskArray.build(
+            self.rows,
+            unlocked_work=work,
+            chunk=chunk,
+        )
+        return TaskArray.concatenate(
+            [edges, chunk_overhead_array(cost, batch_size, self._chunks)]
+        )
 
 
 class BlockedAdjacency(GraphDataStructure):
@@ -187,6 +304,9 @@ class BlockedAdjacency(GraphDataStructure):
         return u % self.chunks
 
     # -- mutation ------------------------------------------------------
+
+    def _make_emitter(self, delete: bool) -> _BlockedEmitter:
+        return _BlockedEmitter(self, delete)
 
     def _insert_out(self, src, dst, weight, recorder):
         return self._blocked_insert(self._out, src, dst, weight, recorder)

@@ -24,11 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import StructureError
+from repro.graph.adjacency_chunked import chunk_overhead_array
 from repro.graph.base import ExecutionContext, GraphDataStructure
-from repro.graph.hashtables import OpenAddressTable, RobinHoodTable
+from repro.graph.hashtables import (
+    _EMPTY,
+    _HASH_MULT,
+    _HASH_WRAP,
+    OpenAddressTable,
+    RobinHoodTable,
+)
 from repro.sim.memory import AddressSpace, Region
-from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task
+from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task, TaskArray
 
 #: A vertex moves to the high-degree table beyond this many neighbors.
 LOW_DEGREE_THRESHOLD = 16
@@ -297,6 +306,325 @@ class _DAHStore:
         low.trace_path(outcome.path, recorder)
 
 
+class _DAHEmitter:
+    """Columnar task emitter for DAH: hash meta-operation counts."""
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_cost",
+        "_chunks",
+        "_delete",
+        "_directed",
+        "table_probes",
+        "hash_ops",
+        "inline_scanned",
+        "degree_queries",
+        "flushed",
+        "rehash_moves",
+        "hit",
+        "chunk",
+    )
+
+    def __init__(self, structure: "DegreeAwareHash", delete: bool) -> None:
+        self._out = structure._out
+        self._in = structure._in
+        self._cost = structure.cost
+        self._chunks = structure.chunks
+        self._delete = delete
+        self._directed = structure.directed
+        self.table_probes: List[int] = []
+        self.hash_ops: List[int] = []
+        self.inline_scanned: List[int] = []
+        self.degree_queries: List[int] = []
+        self.flushed: List[int] = []
+        self.rehash_moves: List[int] = []
+        self.hit: List[bool] = []
+        self.chunk: List[int] = []
+
+    @property
+    def rows(self) -> int:
+        return len(self.table_probes)
+
+    def ingest_batch(self, batch) -> int:
+        """Fused untraced ingest via the tables' path-free fast ops.
+
+        Resizing puts re-sync the table's simulated region immediately
+        (the per-edge path syncs inside ``trace_path``), keeping the
+        address-space allocation sequence identical for later traces.
+        """
+        directed = self._directed
+        out = self._out
+        mirror_store = self._in if directed else out
+        src = batch.src.tolist()
+        dst = batch.dst.tolist()
+        positive = 0
+        if self._delete:
+            remove = self._fused_remove
+            for u, v in zip(src, dst):
+                if remove(out, u, v):
+                    positive += 1
+                if u != v or directed:
+                    remove(mirror_store, v, u)
+            return positive
+
+        weight = batch.weight.tolist()
+        chunks = self._chunks
+        app_probes = self.table_probes.append
+        app_ops = self.hash_ops.append
+        app_inline = self.inline_scanned.append
+        app_deg = self.degree_queries.append
+        app_flush = self.flushed.append
+        app_rehash = self.rehash_moves.append
+        app_hit = self.hit.append
+        app_chunk = self.chunk.append
+        out_row = (
+            out._high,
+            out._low,
+            [h.table for h in out._high],
+            [lo.table for lo in out._low],
+            out,
+        )
+        mirror_row = (
+            mirror_store._high,
+            mirror_store._low,
+            [h.table for h in mirror_store._high],
+            [lo.table for lo in mirror_store._low],
+            mirror_store,
+        )
+        for u, v, w in zip(src, dst, weight):
+            s = u
+            d = v
+            row = out_row
+            mirrored = False
+            while True:
+                highs, lows, high_tables, low_tables, store = row
+                chunk = s % chunks
+                high_table = high_tables[chunk]
+                # First-probe fast path: the overwhelmingly common case
+                # is an immediate hit or an empty home slot; fall back to
+                # the full probe loop on any collision (a tombstone never
+                # compares equal to an int key, so it falls through too).
+                hkeys = high_table._keys
+                hmask = len(hkeys) - 1
+                hslot = ((s * _HASH_MULT & _HASH_WRAP) >> 17) & hmask
+                occupant = hkeys[hslot]
+                if occupant is _EMPTY:
+                    value = None
+                    probes = 1
+                    found = False
+                elif occupant == s:
+                    value = high_table._values[hslot]
+                    probes = 1
+                    found = True
+                else:
+                    value, probes, found = high_table.get_fast(s)
+                hash_ops = 1
+                table_probes = probes
+                inline_scanned = 0
+                degree_queries = 1
+                flushed = 0
+                rehash_moves = 0
+                inserted = False
+                if found:
+                    neighbor_table = value.table
+                    nkeys = neighbor_table._keys
+                    nmask = len(nkeys) - 1
+                    occupant = nkeys[((d * _HASH_MULT & _HASH_WRAP) >> 17) & nmask]
+                    if occupant is _EMPTY:
+                        probes = 1
+                        duplicate = False
+                    elif occupant == d:
+                        probes = 1
+                        duplicate = True
+                    else:
+                        _, probes, duplicate = neighbor_table.get_fast(d)
+                    hash_ops = 2
+                    table_probes += probes
+                    if not duplicate:
+                        probes, moves, _ = neighbor_table.put_fast(d, w)
+                        hash_ops = 3
+                        table_probes += probes
+                        if moves:
+                            rehash_moves = moves
+                            value.tracked._sync_region()
+                        inserted = True
+                else:
+                    low_table = low_tables[chunk]
+                    degree_queries = 2
+                    lkeys = low_table._keys
+                    lmask = len(lkeys) - 1
+                    lslot = ((s * _HASH_MULT & _HASH_WRAP) >> 17) & lmask
+                    occupant = lkeys[lslot]
+                    if occupant is _EMPTY:
+                        inline = None
+                        probes = 1
+                        found_low = False
+                    elif occupant == s:
+                        inline = low_table._values[lslot]
+                        probes = 1
+                        found_low = True
+                    else:
+                        inline, probes, found_low = low_table.get_fast(s)
+                    hash_ops = 2
+                    table_probes += probes
+                    if not found_low:
+                        probes, moves, _ = low_table.put_fast(s, [(d, w)])
+                        hash_ops = 3
+                        table_probes += probes
+                        if moves:
+                            rehash_moves = moves
+                            lows[chunk]._sync_region()
+                        inserted = True
+                    else:
+                        duplicate = False
+                        for j, (existing, _w) in enumerate(inline):
+                            inline_scanned = j + 1
+                            if existing == d:
+                                duplicate = True
+                                break
+                        if not duplicate:
+                            inline_scanned = len(inline)
+                            inline.append((d, w))
+                            inserted = True
+                            if len(inline) > LOW_DEGREE_THRESHOLD:
+                                probes, _found = low_table.delete_fast(s)
+                                table_probes += probes
+                                neighbor_set = _NeighborSet(
+                                    store.space, f"{store.label}.nbr{store._set_count}"
+                                )
+                                store._set_count += 1
+                                neighbor_table = neighbor_set.table
+                                for flushed_dst, flushed_weight in inline:
+                                    _, probes, duplicate = neighbor_table.get_fast(
+                                        flushed_dst
+                                    )
+                                    hash_ops += 1
+                                    table_probes += probes
+                                    if not duplicate:
+                                        probes, moves, _ = neighbor_table.put_fast(
+                                            flushed_dst, flushed_weight
+                                        )
+                                        hash_ops += 1
+                                        table_probes += probes
+                                        if moves:
+                                            rehash_moves += moves
+                                            neighbor_set.tracked._sync_region()
+                                    flushed += 1
+                                probes, moves, _ = high_table.put_fast(s, neighbor_set)
+                                hash_ops += 1
+                                table_probes += probes
+                                if moves:
+                                    rehash_moves += moves
+                                    highs[chunk]._sync_region()
+                app_probes(table_probes)
+                app_ops(hash_ops)
+                app_inline(inline_scanned)
+                app_deg(degree_queries)
+                app_flush(flushed)
+                app_rehash(rehash_moves)
+                app_hit(inserted)
+                app_chunk(chunk)
+                if not mirrored and inserted:
+                    positive += 1
+                if mirrored or (u == v and not directed):
+                    break
+                mirrored = True
+                s = v
+                d = u
+                row = mirror_row
+        return positive
+
+    def _fused_remove(self, store, src, dst) -> bool:
+        """``_DAHStore.remove`` inlined with fast table ops, no stats."""
+        chunk = src % self._chunks
+        high = store._high[chunk]
+        value, probes, found = high.table.get_fast(src)
+        hash_ops = 1
+        table_probes = probes
+        inline_scanned = 0
+        degree_queries = 1
+        removed = False
+        if found:
+            probes, was_present = value.table.delete_fast(dst)
+            hash_ops += 1
+            table_probes += probes
+            removed = was_present
+        else:
+            low = store._low[chunk]
+            degree_queries = 2
+            inline, probes, found_low = low.table.get_fast(src)
+            hash_ops += 1
+            table_probes += probes
+            if found_low:
+                for index, (existing, _w) in enumerate(inline):
+                    inline_scanned = index + 1
+                    if existing == dst:
+                        inline[index] = inline[-1]
+                        inline.pop()
+                        removed = True
+                        if not inline:
+                            probes, _found = low.table.delete_fast(src)
+                            table_probes += probes
+                        break
+        self.table_probes.append(table_probes)
+        self.hash_ops.append(hash_ops)
+        self.inline_scanned.append(inline_scanned)
+        self.degree_queries.append(degree_queries)
+        self.flushed.append(0)
+        self.rehash_moves.append(0)
+        self.hit.append(removed)
+        self.chunk.append(chunk)
+        return removed
+
+    def insert_out(self, src, dst, weight, recorder) -> bool:
+        return self._record(self._out.insert(src, dst, weight, recorder), src)
+
+    def insert_in(self, src, dst, weight, recorder) -> bool:
+        return self._record(self._in.insert(src, dst, weight, recorder), src)
+
+    def delete_out(self, src, dst, recorder) -> bool:
+        return self._record(self._out.remove(src, dst, recorder), src)
+
+    def delete_in(self, src, dst, recorder) -> bool:
+        return self._record(self._in.remove(src, dst, recorder), src)
+
+    def _record(self, stats: _InsertStats, src) -> bool:
+        self.table_probes.append(stats.table_probes)
+        self.hash_ops.append(stats.hash_ops)
+        self.inline_scanned.append(stats.inline_scanned)
+        self.degree_queries.append(stats.degree_queries)
+        self.flushed.append(stats.flushed)
+        self.rehash_moves.append(stats.rehash_moves)
+        self.hit.append(stats.inserted)
+        self.chunk.append(src % self._chunks)
+        return stats.inserted
+
+    def finish(self, batch_size: int) -> TaskArray:
+        cost = self._cost
+        work = (
+            cost.hash_compute * np.asarray(self.hash_ops, dtype=np.float64)
+            + cost.hash_probe * np.asarray(self.table_probes, dtype=np.float64)
+            + cost.probe_element * np.asarray(self.inline_scanned, dtype=np.float64)
+            + cost.degree_query * np.asarray(self.degree_queries, dtype=np.float64)
+        )
+        if not self._delete:
+            work += cost.flush_per_edge * np.asarray(self.flushed, dtype=np.float64)
+            work += cost.rehash_per_element * np.asarray(
+                self.rehash_moves, dtype=np.float64
+            )
+        hit = np.asarray(self.hit, dtype=bool)
+        work[hit] += cost.insert_slot
+        edges = TaskArray.build(
+            self.rows,
+            unlocked_work=work,
+            chunk=np.asarray(self.chunk, dtype=np.int64),
+        )
+        return TaskArray.concatenate(
+            [edges, chunk_overhead_array(cost, batch_size, self._chunks)]
+        )
+
+
 class DegreeAwareHash(GraphDataStructure):
     """The paper's DAH data structure."""
 
@@ -327,6 +655,9 @@ class DegreeAwareHash(GraphDataStructure):
         )
 
     # -- mutation ------------------------------------------------------
+
+    def _make_emitter(self, delete: bool) -> _DAHEmitter:
+        return _DAHEmitter(self, delete)
 
     def _insert_out(self, src, dst, weight, recorder):
         return self._hashed_insert(self._out, src, dst, weight, recorder)

@@ -26,9 +26,16 @@ MAX_LOAD_FACTOR = 0.7
 _EMPTY = object()
 
 
+#: Fibonacci hashing multiplier and 64-bit wrap mask.  The fast-path
+#: methods inline the hash expression rather than calling _hash_key --
+#: the occupant re-hash inside Robin Hood probing runs once per probe.
+_HASH_MULT = 0x9E3779B97F4A7C15
+_HASH_WRAP = 0xFFFFFFFFFFFFFFFF
+
+
 def _hash_key(key: int, mask: int) -> int:
     """Fibonacci-style integer hash mapped onto ``mask + 1`` slots."""
-    h = (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    h = (key * _HASH_MULT) & _HASH_WRAP
     return (h >> 17) & mask
 
 
@@ -75,12 +82,20 @@ class _OpenTableBase:
     def _mask(self) -> int:
         return self.capacity - 1
 
+    def _snapshot(self) -> List[Tuple[int, Any]]:
+        """Live (key, value) pairs as a list (rehash-time helper)."""
+        return [
+            (key, value)
+            for key, value in zip(self._keys, self._values)
+            if key is not _EMPTY
+        ]
+
     def _maybe_grow(self) -> int:
         """Double capacity if over the load factor; returns moved count."""
-        if (self._size + 1) / self.capacity <= MAX_LOAD_FACTOR:
+        if (self._size + 1) / len(self._keys) <= MAX_LOAD_FACTOR:
             return 0
-        old_items = list(self.items())
-        self._keys = [_EMPTY] * (self.capacity * 2)
+        old_items = self._snapshot()
+        self._keys = [_EMPTY] * (len(self._keys) * 2)
         self._values = [None] * len(self._keys)
         self._size = 0
         self.generation += 1
@@ -162,7 +177,30 @@ class RobinHoodTable(_OpenTableBase):
         return ProbeOutcome(found=not inserted_new, probes=len(path), path=path)
 
     def _raw_insert(self, key: int, value: Any) -> None:
-        self._put_no_grow(key, value)
+        # Rehash-time insert: the same probe/steal sequence as
+        # _put_no_grow with no outcome to report (keys are unique during
+        # a rehash, so the replace branch reduces to the _EMPTY stop).
+        keys = self._keys
+        values = self._values
+        mask = len(keys) - 1
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        cur_key, cur_value, cur_distance = key, value, 0
+        while True:
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                keys[slot] = cur_key
+                values[slot] = cur_value
+                self._size += 1
+                return
+            occupant_distance = (
+                slot - (((occupant * _HASH_MULT & _HASH_WRAP) >> 17) & mask)
+            ) & mask
+            if occupant_distance < cur_distance:
+                keys[slot], cur_key = cur_key, keys[slot]
+                values[slot], cur_value = cur_value, values[slot]
+                cur_distance = occupant_distance
+            slot = (slot + 1) & mask
+            cur_distance += 1
 
     def delete(self, key: int) -> ProbeOutcome:
         """Remove ``key`` with backward-shift deletion."""
@@ -193,6 +231,96 @@ class RobinHoodTable(_OpenTableBase):
             if key is not _EMPTY:
                 worst = max(worst, (slot - _hash_key(key, mask)) & mask)
         return worst
+
+    # -- untraced fast path --------------------------------------------
+    # The same probe sequences as get/put/delete, counted with an int
+    # instead of materializing a ProbeOutcome and its path list.  Used
+    # by the fused batch-ingest loops, where no trace is recorded.
+
+    def get_fast(self, key: int) -> Tuple[Any, int, bool]:
+        """``get`` without the probe path: (value, probes, found)."""
+        mask = len(self._keys) - 1
+        keys = self._keys
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        probes = 0
+        distance = 0
+        while True:
+            probes += 1
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                return None, probes, False
+            if occupant == key:
+                return self._values[slot], probes, True
+            if ((slot - (((occupant * _HASH_MULT & _HASH_WRAP) >> 17) & mask)) & mask) < distance:
+                return None, probes, False
+            slot = (slot + 1) & mask
+            distance += 1
+
+    def put_fast(self, key: int, value: Any) -> Tuple[int, int, bool]:
+        """``put`` without the probe path: (probes, resized_moves, found)."""
+        moved = self._maybe_grow()
+        mask = len(self._keys) - 1
+        keys = self._keys
+        values = self._values
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        probes = 0
+        cur_key, cur_value, cur_distance = key, value, 0
+        inserted_new = True
+        while True:
+            probes += 1
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                keys[slot] = cur_key
+                values[slot] = cur_value
+                if inserted_new:
+                    self._size += 1
+                break
+            if occupant == cur_key:
+                values[slot] = cur_value
+                inserted_new = False
+                break
+            occupant_distance = (
+                slot - (((occupant * _HASH_MULT & _HASH_WRAP) >> 17) & mask)
+            ) & mask
+            if occupant_distance < cur_distance:
+                keys[slot], cur_key = cur_key, keys[slot]
+                values[slot], cur_value = cur_value, values[slot]
+                cur_distance = occupant_distance
+            slot = (slot + 1) & mask
+            cur_distance += 1
+        return probes, moved, not inserted_new
+
+    def delete_fast(self, key: int) -> Tuple[int, bool]:
+        """``delete`` without the probe path: (probes, found)."""
+        mask = len(self._keys) - 1
+        keys = self._keys
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        probes = 0
+        distance = 0
+        while True:
+            probes += 1
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                return probes, False
+            if occupant == key:
+                break
+            if ((slot - (((occupant * _HASH_MULT & _HASH_WRAP) >> 17) & mask)) & mask) < distance:
+                return probes, False
+            slot = (slot + 1) & mask
+            distance += 1
+        values = self._values
+        while True:
+            next_slot = (slot + 1) & mask
+            occupant = keys[next_slot]
+            if occupant is _EMPTY or (_hash_key(occupant, mask) == next_slot):
+                break
+            keys[slot] = occupant
+            values[slot] = values[next_slot]
+            slot = next_slot
+        keys[slot] = _EMPTY
+        values[slot] = None
+        self._size -= 1
+        return probes, True
 
 
 class OpenAddressTable(_OpenTableBase):
@@ -246,7 +374,16 @@ class OpenAddressTable(_OpenTableBase):
         raise StructureError("open-address table overflow (load factor violated)")
 
     def _raw_insert(self, key: int, value: Any) -> None:
-        self._put_no_grow(key, value)
+        # Rehash-time insert: a fresh table has no tombstones and keys
+        # are unique, so linear probing stops at the first empty slot.
+        keys = self._keys
+        mask = len(keys) - 1
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        while keys[slot] is not _EMPTY:
+            slot = (slot + 1) & mask
+        keys[slot] = key
+        self._values[slot] = value
+        self._size += 1
 
     def delete(self, key: int) -> ProbeOutcome:
         """Remove ``key``, leaving a tombstone."""
@@ -262,3 +399,77 @@ class OpenAddressTable(_OpenTableBase):
         for key, value in zip(self._keys, self._values):
             if key is not _EMPTY and key is not self._TOMBSTONE:
                 yield key, value
+
+    def _snapshot(self) -> List[Tuple[int, Any]]:
+        tombstone = self._TOMBSTONE
+        return [
+            (key, value)
+            for key, value in zip(self._keys, self._values)
+            if key is not _EMPTY and key is not tombstone
+        ]
+
+    # -- untraced fast path (see RobinHoodTable) -----------------------
+
+    def get_fast(self, key: int) -> Tuple[Any, int, bool]:
+        """``get`` without the probe path: (value, probes, found)."""
+        mask = len(self._keys) - 1
+        keys = self._keys
+        tombstone = self._TOMBSTONE
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        probes = 0
+        for _ in range(len(keys)):
+            probes += 1
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                return None, probes, False
+            if occupant is not tombstone and occupant == key:
+                return self._values[slot], probes, True
+            slot = (slot + 1) & mask
+        return None, probes, False
+
+    def put_fast(self, key: int, value: Any) -> Tuple[int, int, bool]:
+        """``put`` without the probe path: (probes, resized_moves, found)."""
+        moved = self._maybe_grow()
+        mask = len(self._keys) - 1
+        keys = self._keys
+        tombstone = self._TOMBSTONE
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        probes = 0
+        first_tombstone = None
+        for _ in range(len(keys) + 1):
+            probes += 1
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                target = first_tombstone if first_tombstone is not None else slot
+                keys[target] = key
+                self._values[target] = value
+                self._size += 1
+                return probes, moved, False
+            if occupant is tombstone:
+                if first_tombstone is None:
+                    first_tombstone = slot
+            elif occupant == key:
+                self._values[slot] = value
+                return probes, moved, True
+            slot = (slot + 1) & mask
+        raise StructureError("open-address table overflow (load factor violated)")
+
+    def delete_fast(self, key: int) -> Tuple[int, bool]:
+        """``delete`` without the probe path: (probes, found)."""
+        mask = len(self._keys) - 1
+        keys = self._keys
+        tombstone = self._TOMBSTONE
+        slot = ((key * _HASH_MULT & _HASH_WRAP) >> 17) & mask
+        probes = 0
+        for _ in range(len(keys)):
+            probes += 1
+            occupant = keys[slot]
+            if occupant is _EMPTY:
+                return probes, False
+            if occupant is not tombstone and occupant == key:
+                keys[slot] = tombstone
+                self._values[slot] = None
+                self._size -= 1
+                return probes, True
+            slot = (slot + 1) & mask
+        return probes, False

@@ -18,9 +18,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.graph.base import ExecutionContext, GraphDataStructure
 from repro.sim.memory import AddressSpace, Region
-from repro.sim.scheduler import DynamicScheduler, ScheduleResult, Task
+from repro.sim.scheduler import (
+    NO_LOCK,
+    DynamicScheduler,
+    ScheduleResult,
+    Task,
+    TaskArray,
+)
 
 #: Edges per edge block (paper Section III-A3).
 BLOCK_CAPACITY = 16
@@ -34,13 +42,20 @@ BLOCK_BYTES = BLOCK_HEADER_BYTES + BLOCK_CAPACITY * ENTRY_BYTES
 VERTEX_ENTRY_BYTES = 16
 
 
-@dataclass
 class _EdgeBlock:
     """One fixed-capacity block in a vertex's linked list."""
 
-    block_id: int
-    region: Region
-    entries: List[Tuple[int, float]] = field(default_factory=list)
+    __slots__ = ("block_id", "region", "entries")
+
+    def __init__(
+        self,
+        block_id: int,
+        region: Region,
+        entries: Optional[List[Tuple[int, float]]] = None,
+    ) -> None:
+        self.block_id = block_id
+        self.region = region
+        self.entries = [] if entries is None else entries
 
     @property
     def full(self) -> bool:
@@ -69,15 +84,24 @@ class _StingerStore:
         self.lock_base = lock_base
         self._blocks: List[List[_EdgeBlock]] = [[] for _ in range(max_nodes)]
         self._position: List[Dict[int, Tuple[int, int]]] = [{} for _ in range(max_nodes)]
+        # Per-vertex degree, maintained on insert/remove so negative
+        # searches charge their probe count without summing the blocks.
+        self._degree: List[int] = [0] * max_nodes
+        # While no edge has ever been removed, blocks fill strictly
+        # front-to-back: every block before the tail is full.  The fused
+        # emitter exploits this to compute scan lengths in O(1); any
+        # remove may open a hole and permanently disables the shortcut.
+        self._holes = False
         self._vertex_array = space.alloc(
             max_nodes * VERTEX_ENTRY_BYTES, f"{label}.vertices"
         )
+        self._block_label = f"{label}.block"
         self._next_block_id = 0
 
     def _new_block(self) -> _EdgeBlock:
         block = _EdgeBlock(
             block_id=self._next_block_id,
-            region=self.space.alloc(BLOCK_BYTES, f"{self.label}.block"),
+            region=self.space.alloc(BLOCK_BYTES, self._block_label),
         )
         self._next_block_id += 1
         return block
@@ -93,7 +117,9 @@ class _StingerStore:
         if existing is not None:
             # Search scan stops at the block holding the edge.
             block_idx, slot = existing
-            probes = sum(len(blocks[i].entries) for i in range(block_idx)) + slot + 1
+            probes = slot + 1
+            for i in range(block_idx):
+                probes += len(blocks[i].entries)
             if tracing:
                 self._trace_scan(blocks, block_idx + 1, recorder)
             return _InsertOutcome(
@@ -106,7 +132,7 @@ class _StingerStore:
             )
         # Negative search scans the entire list ...
         search_chases = len(blocks)
-        search_probes = sum(len(b.entries) for b in blocks)
+        search_probes = self._degree[src]
         if tracing:
             self._trace_scan(blocks, len(blocks), recorder)
         # ... then a second scan walks the list again looking for the
@@ -129,6 +155,7 @@ class _StingerStore:
         slot = len(target.entries)
         target.entries.append((dst, weight))
         position[dst] = (target_index, slot)
+        self._degree[src] += 1
         if tracing:
             recorder.access(target.entry_address(slot), write=True)
         return _InsertOutcome(
@@ -158,14 +185,16 @@ class _StingerStore:
                 self._trace_scan(blocks, len(blocks), recorder)
             return _InsertOutcome(
                 search_chases=len(blocks),
-                search_probes=sum(len(b.entries) for b in blocks),
+                search_probes=self._degree[src],
                 space_chases=0,
                 inserted=False,
                 new_block=False,
                 lock=None,
             )
         block_idx, slot = existing
-        probes = sum(len(blocks[i].entries) for i in range(block_idx)) + slot + 1
+        probes = slot + 1
+        for i in range(block_idx):
+            probes += len(blocks[i].entries)
         if tracing:
             self._trace_scan(blocks, block_idx + 1, recorder)
         block = blocks[block_idx]
@@ -177,6 +206,8 @@ class _StingerStore:
                 recorder.access(block.entry_address(slot), write=True)
         block.entries.pop()
         del position[dst]
+        self._degree[src] -= 1
+        self._holes = True
         freed = False
         if not block.entries and block_idx == len(blocks) - 1:
             self.space.free(blocks.pop().region)
@@ -204,7 +235,7 @@ class _StingerStore:
         return result
 
     def degree(self, u: int) -> int:
-        return sum(len(b.entries) for b in self._blocks[u])
+        return self._degree[u]
 
     def block_count(self, u: int) -> int:
         return len(self._blocks[u])
@@ -212,6 +243,290 @@ class _StingerStore:
     def trace_traversal(self, u: int, recorder) -> None:
         recorder.access(self._vertex_array.element(u, VERTEX_ENTRY_BYTES))
         self._trace_scan(self._blocks[u], len(self._blocks[u]), recorder)
+
+
+class _StingerEmitter:
+    """Columnar task emitter for Stinger: block scans and fine locks."""
+
+    __slots__ = (
+        "_out",
+        "_in",
+        "_cost",
+        "_delete",
+        "_directed",
+        "search_chases",
+        "search_probes",
+        "space_chases",
+        "hit",
+        "new_block",
+        "lock",
+    )
+
+    def __init__(self, structure: "Stinger", delete: bool) -> None:
+        self._out = structure._out
+        self._in = structure._in
+        self._cost = structure.cost
+        self._delete = delete
+        self._directed = structure.directed
+        self.search_chases: List[int] = []
+        self.search_probes: List[int] = []
+        self.space_chases: List[int] = []
+        self.hit: List[bool] = []
+        self.new_block: List[bool] = []
+        self.lock: List[int] = []
+
+    @property
+    def rows(self) -> int:
+        return len(self.search_chases)
+
+    def ingest_batch(self, batch) -> int:
+        """Fused untraced ingest: inlined block scans, no outcome boxing."""
+        directed = self._directed
+        out = self._out
+        mirror_store = self._in if directed else out
+        src = batch.src.tolist()
+        dst = batch.dst.tolist()
+        positive = 0
+        if self._delete:
+            remove = self._fused_remove
+            for u, v in zip(src, dst):
+                if remove(out, u, v):
+                    positive += 1
+                if u != v or directed:
+                    remove(mirror_store, v, u)
+            return positive
+
+        weight = batch.weight.tolist()
+        app_chases = self.search_chases.append
+        app_probes = self.search_probes.append
+        app_space = self.space_chases.append
+        app_hit = self.hit.append
+        app_new = self.new_block.append
+        app_lock = self.lock.append
+        # Per-store state hoisted once; the insert body is duplicated
+        # for the out and mirror operations so the hot loop runs on
+        # locals only.  Inserts never open holes, so _holes is loop
+        # invariant here (only removes set it).
+        o_blocks_all = out._blocks
+        o_pos_all = out._position
+        o_degree = out._degree
+        o_lock_base = out.lock_base
+        o_alloc = out.space.alloc
+        o_blabel = out._block_label
+        o_holes = out._holes
+        m_blocks_all = mirror_store._blocks
+        m_pos_all = mirror_store._position
+        m_degree = mirror_store._degree
+        m_lock_base = mirror_store.lock_base
+        m_alloc = mirror_store.space.alloc
+        m_blabel = mirror_store._block_label
+        m_holes = mirror_store._holes
+        for u, v, w in zip(src, dst, weight):
+            blocks = o_blocks_all[u]
+            position = o_pos_all[u]
+            existing = position.get(v)
+            if existing is not None:
+                block_idx, slot = existing
+                if o_holes:
+                    probes = slot + 1
+                    for j in range(block_idx):
+                        probes += len(blocks[j].entries)
+                else:
+                    probes = block_idx * BLOCK_CAPACITY + slot + 1
+                app_chases(block_idx + 1)
+                app_probes(probes)
+                app_space(0)
+                app_hit(False)
+                app_new(False)
+                app_lock(NO_LOCK)
+            else:
+                nblocks = len(blocks)
+                app_chases(nblocks)
+                deg = o_degree[u]
+                app_probes(deg)
+                o_degree[u] = deg + 1
+                target = None
+                if o_holes:
+                    target_index = None
+                    for index, block in enumerate(blocks):
+                        if len(block.entries) < BLOCK_CAPACITY:
+                            target_index = index
+                            target = block
+                            break
+                elif nblocks:
+                    # No holes: every block before the tail is full.
+                    target = blocks[-1]
+                    if len(target.entries) < BLOCK_CAPACITY:
+                        target_index = nblocks - 1
+                    else:
+                        target = None
+                if target is None:
+                    app_space(nblocks)
+                    target = _EdgeBlock(
+                        out._next_block_id, o_alloc(BLOCK_BYTES, o_blabel)
+                    )
+                    out._next_block_id += 1
+                    blocks.append(target)
+                    target_index = nblocks
+                    app_new(True)
+                else:
+                    app_space(target_index + 1)
+                    app_new(False)
+                entries = target.entries
+                position[v] = (target_index, len(entries))
+                entries.append((v, w))
+                app_hit(True)
+                app_lock(o_lock_base + target.block_id)
+                positive += 1
+            if u != v or directed:
+                blocks = m_blocks_all[v]
+                position = m_pos_all[v]
+                existing = position.get(u)
+                if existing is not None:
+                    block_idx, slot = existing
+                    if m_holes:
+                        probes = slot + 1
+                        for j in range(block_idx):
+                            probes += len(blocks[j].entries)
+                    else:
+                        probes = block_idx * BLOCK_CAPACITY + slot + 1
+                    app_chases(block_idx + 1)
+                    app_probes(probes)
+                    app_space(0)
+                    app_hit(False)
+                    app_new(False)
+                    app_lock(NO_LOCK)
+                else:
+                    nblocks = len(blocks)
+                    app_chases(nblocks)
+                    deg = m_degree[v]
+                    app_probes(deg)
+                    m_degree[v] = deg + 1
+                    target = None
+                    if m_holes:
+                        target_index = None
+                        for index, block in enumerate(blocks):
+                            if len(block.entries) < BLOCK_CAPACITY:
+                                target_index = index
+                                target = block
+                                break
+                    elif nblocks:
+                        target = blocks[-1]
+                        if len(target.entries) < BLOCK_CAPACITY:
+                            target_index = nblocks - 1
+                        else:
+                            target = None
+                    if target is None:
+                        app_space(nblocks)
+                        target = _EdgeBlock(
+                            mirror_store._next_block_id, m_alloc(BLOCK_BYTES, m_blabel)
+                        )
+                        mirror_store._next_block_id += 1
+                        blocks.append(target)
+                        target_index = nblocks
+                        app_new(True)
+                    else:
+                        app_space(target_index + 1)
+                        app_new(False)
+                    entries = target.entries
+                    position[u] = (target_index, len(entries))
+                    entries.append((u, w))
+                    app_hit(True)
+                    app_lock(m_lock_base + target.block_id)
+        return positive
+
+    def _fused_remove(self, store, src, dst) -> bool:
+        """``_StingerStore.remove`` inlined, appending columns directly."""
+        blocks = store._blocks[src]
+        position = store._position[src]
+        existing = position.get(dst)
+        if existing is None:
+            self.search_chases.append(len(blocks))
+            self.search_probes.append(store._degree[src])
+            self.space_chases.append(0)
+            self.hit.append(False)
+            self.new_block.append(False)
+            self.lock.append(NO_LOCK)
+            return False
+        block_idx, slot = existing
+        probes = slot + 1
+        for i in range(block_idx):
+            probes += len(blocks[i].entries)
+        block = blocks[block_idx]
+        entries = block.entries
+        last = len(entries) - 1
+        if slot != last:
+            entries[slot] = entries[last]
+            position[entries[slot][0]] = (block_idx, slot)
+        entries.pop()
+        del position[dst]
+        store._degree[src] -= 1
+        store._holes = True
+        freed = False
+        if not entries and block_idx == len(blocks) - 1:
+            store.space.free(blocks.pop().region)
+            freed = True
+        self.search_chases.append(block_idx + 1)
+        self.search_probes.append(probes)
+        self.space_chases.append(0)
+        self.hit.append(True)
+        self.new_block.append(freed)
+        self.lock.append(store.lock_base + block.block_id)
+        return True
+
+    def insert_out(self, src, dst, weight, recorder) -> bool:
+        return self._record(self._out.insert(src, dst, weight, recorder))
+
+    def insert_in(self, src, dst, weight, recorder) -> bool:
+        return self._record(self._in.insert(src, dst, weight, recorder))
+
+    def delete_out(self, src, dst, recorder) -> bool:
+        return self._record(self._out.remove(src, dst, recorder))
+
+    def delete_in(self, src, dst, recorder) -> bool:
+        return self._record(self._in.remove(src, dst, recorder))
+
+    def _record(self, outcome: _InsertOutcome) -> bool:
+        self.search_chases.append(outcome.search_chases)
+        self.search_probes.append(outcome.search_probes)
+        self.space_chases.append(outcome.space_chases)
+        self.hit.append(outcome.inserted)
+        self.new_block.append(outcome.new_block)
+        self.lock.append(NO_LOCK if outcome.lock is None else outcome.lock)
+        return outcome.inserted
+
+    def finish(self, batch_size: int) -> TaskArray:
+        cost = self._cost
+        n = self.rows
+        search_chases = np.asarray(self.search_chases, dtype=np.int64)
+        search_probes = np.asarray(self.search_probes, dtype=np.float64)
+        hit = np.asarray(self.hit, dtype=bool)
+        locked = np.zeros(n)
+        if self._delete:
+            unlocked = (
+                cost.pointer_chase * search_chases.astype(np.float64)
+                + cost.probe_block_element * search_probes
+            )
+            locked[hit] = 2 * cost.insert_slot  # clear + backfill
+        else:
+            space_chases = np.asarray(self.space_chases, dtype=np.int64)
+            unlocked = (
+                cost.pointer_chase * (search_chases + space_chases).astype(np.float64)
+                + cost.probe_block_element * search_probes
+            )
+            # The space scan lock-couples block by block (see
+            # _block_insert); same grouping as the scalar expression.
+            per_chase = cost.lock_acquire + cost.lock_release + cost.probe_block_element
+            locked[hit] = space_chases[hit] * per_chase + cost.insert_slot
+            new_block = np.asarray(self.new_block, dtype=bool) & hit
+            locked[new_block] += cost.insert_slot  # link the fresh block
+        return TaskArray.build(
+            n,
+            unlocked_work=unlocked,
+            locked_work=locked,
+            lock=np.asarray(self.lock, dtype=np.int64),
+            fine_lock=True,
+        )
 
 
 class Stinger(GraphDataStructure):
@@ -240,6 +555,9 @@ class Stinger(GraphDataStructure):
         )
 
     # -- mutation ------------------------------------------------------
+
+    def _make_emitter(self, delete: bool) -> _StingerEmitter:
+        return _StingerEmitter(self, delete)
 
     def _insert_out(self, src, dst, weight, recorder):
         return self._block_insert(self._out, src, dst, weight, recorder)

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.sim.memory import AddressSpace, Region
 
 #: Bytes of one (neighbor, weight) entry: 4B id + 4B weight, packed.
@@ -62,6 +64,7 @@ class VectorStore:
         self._capacity: List[int] = [0] * max_nodes
         self._region: List[Optional[Region]] = [None] * max_nodes
         self._header = space.alloc(max_nodes * HEADER_BYTES, f"{label}.headers")
+        self._vec_label = f"{label}.vec"
 
     def insert(self, src: int, dst: int, weight: float, recorder) -> InsertOutcome:
         """Search for ``src -> dst`` and insert it if absent."""
@@ -93,10 +96,11 @@ class VectorStore:
     def _grow(self, src: int) -> int:
         """Double ``src``'s vector capacity; returns elements moved."""
         old_len = len(self._neighbors[src])
-        new_capacity = max(INITIAL_CAPACITY, self._capacity[src] * 2)
+        capacity = self._capacity[src]
+        new_capacity = capacity * 2 if capacity else INITIAL_CAPACITY
         old_region = self._region[src]
         self._region[src] = self.space.alloc(
-            new_capacity * ENTRY_BYTES, f"{self.label}.vec"
+            new_capacity * ENTRY_BYTES, self._vec_label
         )
         if old_region is not None:
             self.space.free(old_region)
@@ -143,6 +147,10 @@ class VectorStore:
         del index[dst]
         return RemoveOutcome(scanned=scanned, removed=True, moved=moved)
 
+    def _bulk_parts(self):
+        """(neighbors, index, capacity, grow) for :func:`bulk_ingest`."""
+        return self._neighbors, self._position, self._capacity, self._grow
+
     def neighbors(self, u: int) -> List[Tuple[int, float]]:
         return self._neighbors[u]
 
@@ -159,3 +167,145 @@ class VectorStore:
     @property
     def header_region(self) -> Region:
         return self._header
+
+
+def bulk_ingest(
+    out_store,
+    in_store,
+    src,
+    dst,
+    weight,
+    directed,
+    delete,
+    scanned,
+    hit,
+    aux,
+    record_moved=True,
+):
+    """Fused, untraced ingest of one whole batch into a store pair.
+
+    Operation for operation equivalent to the per-edge emitter loop
+    with a disabled recorder -- same store mutations in the same order,
+    same scanned/hit/aux rows -- with the method dispatch, per-op
+    outcome objects, and tracing branches removed.  ``in_store`` is the
+    out-store itself for undirected graphs (both orientations land in
+    one store, and the mirror op is skipped for self-loops).  ``aux``
+    receives grew_from (insert) or moved (delete; always 0 when
+    ``record_moved`` is false, for stores that do not price backfill
+    moves).  Returns the number of out-store operations that changed
+    the store.
+    """
+    o_neighbors, o_index, o_capacity, o_grow = out_store._bulk_parts()
+    i_neighbors, i_index, i_capacity, i_grow = in_store._bulk_parts()
+    append_scanned = scanned.append
+    append_hit = hit.append
+    append_aux = aux.append
+    positive = 0
+    if delete:
+        for u, v in zip(src, dst):
+            vec = o_neighbors[u]
+            index = o_index[u]
+            position = index.get(v)
+            if position is None:
+                append_scanned(len(vec))
+                append_hit(False)
+                append_aux(0)
+            else:
+                append_scanned(position + 1)
+                last = len(vec) - 1
+                moved = 0
+                if position != last:
+                    vec[position] = vec[last]
+                    index[vec[position][0]] = position
+                    moved = 1
+                vec.pop()
+                del index[v]
+                append_hit(True)
+                append_aux(moved if record_moved else 0)
+                positive += 1
+            if u != v or directed:
+                vec = i_neighbors[v]
+                index = i_index[v]
+                position = index.get(u)
+                if position is None:
+                    append_scanned(len(vec))
+                    append_hit(False)
+                    append_aux(0)
+                else:
+                    append_scanned(position + 1)
+                    last = len(vec) - 1
+                    moved = 0
+                    if position != last:
+                        vec[position] = vec[last]
+                        index[vec[position][0]] = position
+                        moved = 1
+                    vec.pop()
+                    del index[u]
+                    append_hit(True)
+                    append_aux(moved if record_moved else 0)
+    else:
+        for u, v, w in zip(src, dst, weight):
+            index = o_index[u]
+            position = index.get(v)
+            if position is not None:
+                append_scanned(position + 1)
+                append_hit(False)
+                append_aux(0)
+            else:
+                vec = o_neighbors[u]
+                length = len(vec)
+                append_scanned(length)
+                grew = o_grow(u) if length == o_capacity[u] else 0
+                index[v] = length
+                vec.append((v, w))
+                append_hit(True)
+                append_aux(grew)
+                positive += 1
+            if u != v or directed:
+                index = i_index[v]
+                position = index.get(u)
+                if position is not None:
+                    append_scanned(position + 1)
+                    append_hit(False)
+                    append_aux(0)
+                else:
+                    vec = i_neighbors[v]
+                    length = len(vec)
+                    append_scanned(length)
+                    grew = i_grow(v) if length == i_capacity[v] else 0
+                    index[u] = length
+                    vec.append((u, w))
+                    append_hit(True)
+                    append_aux(grew)
+    return positive
+
+
+def row_layout(src, dst, directed):
+    """Per-row source vertex and mirror flag for one fused batch.
+
+    Rows appear in ingest order -- each edge's out-store operation,
+    then its mirror operation (skipped for undirected self-loops) --
+    matching the per-edge loop, so per-row columns that depend only on
+    the batch content (lock and chunk ids) can be rebuilt vectorized
+    instead of appended inside the hot loop.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    n = len(src)
+    if directed:
+        row_src = np.empty(2 * n, dtype=np.int64)
+        row_src[0::2] = src
+        row_src[1::2] = dst
+        mirror = np.zeros(2 * n, dtype=bool)
+        mirror[1::2] = True
+        return row_src, mirror
+    mirrored = src != dst
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(1 + mirrored[:-1], out=starts[1:])
+    row_src = np.empty(n + int(np.count_nonzero(mirrored)), dtype=np.int64)
+    mirror = np.zeros(len(row_src), dtype=bool)
+    row_src[starts] = src
+    mirror_rows = starts[mirrored] + 1
+    row_src[mirror_rows] = dst[mirrored]
+    mirror[mirror_rows] = True
+    return row_src, mirror

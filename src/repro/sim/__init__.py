@@ -27,11 +27,14 @@ from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.counters import PhaseCounters, derive_counters
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
 from repro.sim.memory import AddressSpace, Region
+from repro.sim.profiling import PROFILER, PhaseTimer
 from repro.sim.scheduler import (
     ChunkedScheduler,
     DynamicScheduler,
     ScheduleResult,
     Task,
+    TaskArray,
+    use_legacy_tasks,
 )
 from repro.sim.trace import MemoryTrace, TraceRecorder
 
@@ -46,11 +49,15 @@ __all__ = [
     "MachineConfig",
     "MemoryTrace",
     "PhaseCounters",
+    "PhaseTimer",
+    "PROFILER",
     "Region",
     "ScheduleResult",
     "SetAssociativeCache",
     "SKYLAKE_GOLD_6142",
     "Task",
+    "TaskArray",
     "TraceRecorder",
     "derive_counters",
+    "use_legacy_tasks",
 ]

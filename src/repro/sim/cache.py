@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.sim.machine import MachineConfig
+from repro.sim.profiling import PROFILER
 from repro.sim.trace import MemoryTrace
 
 
@@ -156,23 +157,28 @@ class CacheHierarchy:
         ``task_thread`` maps each task id in the trace to the thread
         that executed it (from a :class:`~repro.sim.scheduler.ScheduleResult`).
         """
+        with PROFILER.phase("cache-replay"):
+            return self._replay(trace, task_thread)
+
+    def _replay(self, trace: MemoryTrace, task_thread: np.ndarray) -> CacheStats:
         machine = self.machine
-        line = machine.line_bytes
-        lines_per_page = machine.page_bytes // line
+        lines_per_page = machine.page_bytes // machine.line_bytes
         sockets = machine.sockets
         cores_per_socket = machine.cores_per_socket
         stats = CacheStats()
         l1s, l2s, llcs = self._l1, self._l2, self._llc
-        cores = machine.physical_cores
 
-        line_addrs = trace.addresses // line
-        task_ids = trace.task_ids
+        # Address translation and core assignment are stateless, so
+        # they vectorize; the sequential loop below only keeps the
+        # stateful LRU replay itself.
+        line_list = (trace.addresses // machine.line_bytes).tolist()
+        threads = np.asarray(task_thread, dtype=np.int64)[trace.task_ids]
+        core_list = (threads % machine.physical_cores).tolist()
         n = len(trace)
         stats.accesses = n
         for i in range(n):
-            line_addr = int(line_addrs[i])
-            thread = int(task_thread[task_ids[i]])
-            core = thread % cores
+            line_addr = line_list[i]
+            core = core_list[i]
             if l1s[core].access(line_addr):
                 stats.l1_hits += 1
                 continue

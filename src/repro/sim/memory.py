@@ -10,20 +10,29 @@ home socket for the QPI traffic model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.errors import SimulationError
 from repro.sim.machine import CACHE_LINE_BYTES
 
 
-@dataclass(frozen=True)
 class Region:
-    """A contiguous allocation: ``[base, base + size)``."""
+    """A contiguous allocation: ``[base, base + size)``.
 
-    base: int
-    size: int
-    label: str
+    A plain ``__slots__`` class rather than a dataclass: regions are
+    created on every block/vector/table allocation, so construction is
+    on the simulator's hot path.  Treat instances as immutable.
+    """
+
+    __slots__ = ("base", "size", "label")
+
+    def __init__(self, base: int, size: int, label: str) -> None:
+        self.base = base
+        self.size = size
+        self.label = label
+
+    def __repr__(self) -> str:
+        return f"Region(base={self.base}, size={self.size}, label={self.label!r})"
 
     @property
     def end(self) -> int:
@@ -53,7 +62,7 @@ class AddressSpace:
         self._next = _align_up(base, CACHE_LINE_BYTES)
         self._live_bytes = 0
         self._allocated_bytes = 0
-        self._regions: List[Region] = []
+        self._region_count = 0
         self._live_by_label: Dict[str, int] = {}
 
     def alloc(self, size: int, label: str = "") -> Region:
@@ -61,13 +70,14 @@ class AddressSpace:
         if size <= 0:
             raise SimulationError(f"allocation size must be positive, got {size}")
         base = self._next
-        self._next = _align_up(base + size, CACHE_LINE_BYTES)
-        region = Region(base=base, size=size, label=label)
-        self._regions.append(region)
+        end = base + size
+        self._next = (end + CACHE_LINE_BYTES - 1) // CACHE_LINE_BYTES * CACHE_LINE_BYTES
+        self._region_count += 1
         self._live_bytes += size
         self._allocated_bytes += size
-        self._live_by_label[label] = self._live_by_label.get(label, 0) + size
-        return region
+        live = self._live_by_label
+        live[label] = live.get(label, 0) + size
+        return Region(base, size, label)
 
     def free(self, region: Region) -> None:
         """Mark ``region`` dead (addresses are never recycled)."""
@@ -94,7 +104,7 @@ class AddressSpace:
 
     @property
     def region_count(self) -> int:
-        return len(self._regions)
+        return self._region_count
 
 
 def _align_up(value: int, alignment: int) -> int:

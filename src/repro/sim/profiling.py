@@ -1,0 +1,92 @@
+"""Lightweight per-phase wall-time profiling for harness runs.
+
+The CLI's ``--profile`` flag enables a process-global
+:class:`PhaseTimer`; the hot layers then attribute wall time to four
+coarse phases so perf work has a baseline to compare against:
+
+- ``emission`` -- turning a batch into tasks inside a data structure;
+- ``schedule`` -- turning tasks into a makespan;
+- ``cache-replay`` -- replaying memory traces through the hierarchy;
+- ``compute`` -- the algorithm runs plus compute-phase pricing.
+
+The timer is disabled by default and, when disabled, the ``phase``
+context manager short-circuits without touching the clock, so
+instrumented code pays one attribute check in the common case.
+Phases never nest in the instrumented call graph; re-entering a phase
+(or entering another phase) while one is open simply attributes the
+inner span to the inner phase as an independent interval.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+
+class PhaseTimer:
+    """Accumulates wall seconds and entry counts per named phase."""
+
+    __slots__ = ("enabled", "_totals", "_counts")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        self._totals.clear()
+        self._counts.clear()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute the enclosed wall time to ``name`` (if enabled)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Attribute ``seconds`` to ``name`` directly (no timing)."""
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, Tuple[float, int]]:
+        """{phase: (seconds, entries)} accumulated so far."""
+        return {
+            name: (self._totals[name], self._counts[name])
+            for name in self._totals
+        }
+
+    def report(self) -> str:
+        """Plain-text breakdown, phases sorted by descending time."""
+        totals = self.totals()
+        if not totals:
+            return "[profile] no instrumented phases ran"
+        grand = sum(seconds for seconds, _ in totals.values())
+        lines = ["[profile] per-phase wall time"]
+        for name, (seconds, count) in sorted(
+            totals.items(), key=lambda item: -item[1][0]
+        ):
+            share = 100.0 * seconds / grand if grand else 0.0
+            lines.append(
+                f"  {name:<14s} {seconds:>9.3f}s {share:>5.1f}%  ({count} calls)"
+            )
+        lines.append(f"  {'total':<14s} {grand:>9.3f}s")
+        return "\n".join(lines)
+
+
+#: The process-global timer used by the instrumented layers.
+PROFILER = PhaseTimer()

@@ -18,6 +18,7 @@ Batch processing latency = update latency + compute latency
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
@@ -31,6 +32,7 @@ from repro.graph import STRUCTURES, ReferenceGraph, make_structure
 from repro.graph.base import ExecutionContext
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
+from repro.sim.profiling import PROFILER
 from repro.streaming.batching import make_batches
 from repro.streaming.results import BatchRecord, StreamResult
 
@@ -324,6 +326,7 @@ class StreamDriver:
             in_edges = incidence.view()
 
             # ---- Compute phase: each algorithm under each model ----
+            compute_started = time.perf_counter()
             for alg_name in cfg.algorithms:
                 algorithm = get_algorithm(alg_name)
                 for model in cfg.models:
@@ -369,6 +372,8 @@ class StreamDriver:
                         record.compute_cycles[(alg_name, model, structure_name)] = (
                             cycles
                         )
+            if PROFILER.enabled:
+                PROFILER.add("compute", time.perf_counter() - compute_started)
             result.add_record(record)
             if cfg.progress is not None:
                 cfg.progress(

@@ -136,6 +136,27 @@ class TestFingerprint:
         )
         assert stream_run_key(DATASET, small_config()) != base
 
+    def test_key_schema_bump_retires_old_entries(self, tmp_path, monkeypatch):
+        """Entries keyed before the columnar-kernel rewrite are misses.
+
+        The columnar rewrite bumped ``KEY_SCHEMA_VERSION`` to retire
+        caches populated by the old object path; a store warmed under
+        the previous version must not serve the current keys.
+        """
+        assert fingerprint_mod.KEY_SCHEMA_VERSION >= 2
+        store = RunStore(tmp_path)
+        current_key = stream_run_key(DATASET, small_config())
+        monkeypatch.setattr(
+            fingerprint_mod,
+            "KEY_SCHEMA_VERSION",
+            fingerprint_mod.KEY_SCHEMA_VERSION - 1,
+        )
+        old_key = stream_run_key(DATASET, small_config())
+        assert old_key != current_key
+        store.save_arrays(old_key, {"schema": 1}, {"x": np.zeros(1)})
+        assert store.load_stream_result(current_key) is None
+        assert store.misses == 1
+
     def test_unknown_dataset_rejected(self):
         with pytest.raises(ConfigError):
             stream_run_key("NotADataset", small_config())

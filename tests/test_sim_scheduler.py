@@ -142,6 +142,27 @@ class TestChunkedScheduler:
     def test_empty(self):
         result = ChunkedScheduler(4, cost_model=FREE).run([])
         assert result.makespan_cycles == 0.0
+        assert result.task_thread.dtype == np.int32
+        assert result.task_thread.shape == (0,)
+        assert result.active_threads is None
+        assert result.utilization == 0.0
+
+    def test_more_threads_than_chunks_utilization(self):
+        # Two chunks can reach at most two threads; utilization must be
+        # measured against those two, not all eight.
+        tasks = [Task(unlocked_work=10, chunk=c) for c in range(2)]
+        result = ChunkedScheduler(8, cost_model=FREE).run(tasks)
+        assert result.active_threads == 2
+        assert result.utilization == pytest.approx(1.0)
+        # The dilution the fix removes: 20 work / (10 makespan * 8).
+        assert result.total_work_cycles / (result.makespan_cycles * 8) < 0.5
+
+    def test_active_threads_counts_distinct_targets(self):
+        # Chunks 0 and 4 collide on thread 0 of 4: one active thread.
+        tasks = [Task(unlocked_work=5, chunk=0), Task(unlocked_work=5, chunk=4)]
+        result = ChunkedScheduler(4, cost_model=FREE).run(tasks)
+        assert result.active_threads == 1
+        assert result.utilization == pytest.approx(1.0)
 
 
 class TestParallelFor:

@@ -1,0 +1,387 @@
+"""Differential tests: columnar task kernels vs the legacy object path.
+
+The columnar rewrite (``TaskArray`` emission + array schedulers) must be
+**bit-identical** to the per-object ``Task`` path it replaced -- not
+approximately equal.  Every test here runs the same edge stream through
+a structure twice, once with ``SAGA_BENCH_LEGACY_TASKS=1`` and once
+without, and compares makespans, total work, lock-wait cycles,
+contended-acquire counts, per-thread busy time, task-to-thread
+assignments, and (when tracing) cache hit/miss counts with ``==`` on
+the raw floats.
+
+A second group of tests feeds identical task batches to the schedulers
+in both representations directly, pinning each of the dynamic
+scheduler's array kernels (the n <= threads fast path, the uniform-cost
+ladder, and the event-loop fallback) against the legacy heap loop.
+"""
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.graph import EdgeBatch, ExecutionContext, STRUCTURES, make_structure
+from repro.sim.cache import CacheHierarchy
+from repro.sim.cost_model import DEFAULT_COST_MODEL, CostModel
+from repro.sim.scheduler import ChunkedScheduler, DynamicScheduler
+from repro.sim.tasks import LEGACY_TASKS_ENV, Task, TaskArray, use_legacy_tasks
+from repro.sim.trace import TraceRecorder
+from tests.conftest import SMALL_MACHINE, random_batch
+
+ALL = sorted(STRUCTURES)
+
+
+@contextmanager
+def legacy_tasks(enabled: bool):
+    """Temporarily select the legacy object-based task path."""
+    saved = os.environ.get(LEGACY_TASKS_ENV)
+    try:
+        if enabled:
+            os.environ[LEGACY_TASKS_ENV] = "1"
+        else:
+            os.environ.pop(LEGACY_TASKS_ENV, None)
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(LEGACY_TASKS_ENV, None)
+        else:
+            os.environ[LEGACY_TASKS_ENV] = saved
+
+
+def test_env_toggle():
+    with legacy_tasks(True):
+        assert use_legacy_tasks()
+    with legacy_tasks(False):
+        assert not use_legacy_tasks()
+
+
+def stream_batches(num_nodes=48, batches=3, edges=220, seed=17):
+    """A deterministic multi-batch edge stream (rng created per call)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(batches):
+        src = rng.integers(0, num_nodes, size=edges).astype(np.int64)
+        dst = rng.integers(0, num_nodes, size=edges).astype(np.int64)
+        weight = rng.integers(1, 9, size=edges).astype(np.float64)
+        out.append(EdgeBatch(src=src, dst=dst, weight=weight))
+    return out
+
+
+def run_stream(name, legacy, threads, delete_last=False, trace=False):
+    """Ingest the reference stream and collect every comparable number."""
+    with legacy_tasks(legacy):
+        structure = make_structure(name, 48)
+        hierarchy = CacheHierarchy(SMALL_MACHINE, threads=threads)
+        observed = []
+        batches = stream_batches()
+        for index, batch in enumerate(batches):
+            recorder = TraceRecorder() if trace else None
+            ctx = ExecutionContext(
+                machine=SMALL_MACHINE, threads=threads, recorder=recorder
+            )
+            last = index == len(batches) - 1
+            if delete_last and last:
+                result = structure.delete(batch, ctx)
+            else:
+                result = structure.update(batch, ctx)
+            schedule = result.schedule
+            row = {
+                "makespan": schedule.makespan_cycles,
+                "total_work": schedule.total_work_cycles,
+                "lock_wait": schedule.lock_wait_cycles,
+                "contended": schedule.contended_acquires,
+                "task_count": schedule.task_count,
+                "thread_busy": schedule.thread_busy_cycles.tolist(),
+                "task_thread": schedule.task_thread.tolist(),
+                "positive": result.edges_inserted,
+                "negative": result.duplicates,
+                "edges": structure.num_edges,
+                "nodes": structure.num_nodes,
+            }
+            if trace:
+                stats = hierarchy.replay(result.trace, schedule.task_thread)
+                row["cache"] = (
+                    stats.accesses,
+                    stats.l1_hits,
+                    stats.l2_hits,
+                    stats.llc_hits,
+                    stats.local_memory_accesses,
+                    stats.remote_memory_accesses,
+                )
+            observed.append(row)
+        return observed
+
+
+def assert_bit_identical(name, **kwargs):
+    legacy = run_stream(name, legacy=True, **kwargs)
+    columnar = run_stream(name, legacy=False, **kwargs)
+    assert legacy == columnar  # exact: no approx anywhere
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("threads", [1, 6])
+class TestStructureDifferential:
+    def test_update_stream(self, name, threads):
+        assert_bit_identical(name, threads=threads)
+
+    def test_delete_batch(self, name, threads):
+        assert_bit_identical(name, threads=threads, delete_last=True)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestStructureDifferentialInstrumented:
+    def test_smt_threads(self, name):
+        # More threads than physical cores: the SMT work dilation must
+        # round identically on both paths.
+        assert name  # parametrization guard
+        assert_bit_identical(name, threads=SMALL_MACHINE.hardware_threads)
+
+    def test_trace_and_cache_replay(self, name):
+        assert_bit_identical(name, threads=4, trace=True)
+
+    def test_empty_batch(self, name):
+        ctx = ExecutionContext(machine=SMALL_MACHINE, threads=4, keep_tasks=True)
+        with legacy_tasks(False):
+            structure = make_structure(name, 8)
+            result = structure.update(EdgeBatch.empty(), ctx)
+        with legacy_tasks(True):
+            legacy_structure = make_structure(name, 8)
+            legacy_result = legacy_structure.update(EdgeBatch.empty(), ctx)
+        assert (
+            result.schedule.makespan_cycles
+            == legacy_result.schedule.makespan_cycles
+        )
+        assert result.schedule.task_thread.dtype == np.int32
+        assert result.edges_inserted == legacy_result.edges_inserted == 0
+
+    def test_columnar_emits_task_array(self, name):
+        ctx = ExecutionContext(machine=SMALL_MACHINE, threads=4, keep_tasks=True)
+        batch = random_batch(16, 60, seed=3)
+        with legacy_tasks(False):
+            structure = make_structure(name, 16)
+            result = structure.update(batch, ctx)
+        assert isinstance(result.extra["tasks"], TaskArray)
+        with legacy_tasks(True):
+            structure = make_structure(name, 16)
+            result = structure.update(batch, ctx)
+        assert isinstance(result.extra["tasks"], list)
+
+    def test_task_columns_match_legacy_objects(self, name):
+        # The emitted tasks themselves -- not just the schedules -- must
+        # agree column by column.
+        batch = random_batch(16, 80, seed=9)
+        ctx = ExecutionContext(machine=SMALL_MACHINE, threads=4, keep_tasks=True)
+        with legacy_tasks(False):
+            columnar = make_structure(name, 16).update(batch, ctx).extra["tasks"]
+        with legacy_tasks(True):
+            objects = make_structure(name, 16).update(batch, ctx).extra["tasks"]
+        boxed = TaskArray.from_tasks(objects)
+        assert len(columnar) == len(boxed)
+        for column in TaskArray.__slots__:
+            ours = getattr(columnar, column)
+            theirs = getattr(boxed, column)
+            assert ours.tolist() == theirs.tolist(), column
+
+
+# ---------------------------------------------------------------------------
+# Scheduler kernels, pinned representation-vs-representation
+# ---------------------------------------------------------------------------
+
+COST = DEFAULT_COST_MODEL
+
+
+def assert_same_schedule(array_result, object_result):
+    assert array_result.makespan_cycles == object_result.makespan_cycles
+    assert array_result.total_work_cycles == object_result.total_work_cycles
+    assert array_result.lock_wait_cycles == object_result.lock_wait_cycles
+    assert array_result.contended_acquires == object_result.contended_acquires
+    assert array_result.task_count == object_result.task_count
+    assert (
+        array_result.thread_busy_cycles.tolist()
+        == object_result.thread_busy_cycles.tolist()
+    )
+    assert (
+        array_result.task_thread.tolist() == object_result.task_thread.tolist()
+    )
+
+
+class TestDynamicKernels:
+    def run_both(self, tasks: TaskArray, threads, physical_cores=None):
+        scheduler = DynamicScheduler(
+            threads, physical_cores=physical_cores, cost_model=COST
+        )
+        array_result = scheduler.run(tasks)
+        object_result = scheduler.run(tasks.to_tasks())
+        assert_same_schedule(array_result, object_result)
+        return array_result
+
+    def test_fast_path_fewer_tasks_than_threads(self):
+        # Path A: n <= threads, distinct positive completion times.
+        tasks = TaskArray.build(5, unlocked_work=[3.0, 8.0, 1.0, 9.0, 2.0])
+        self.run_both(tasks, threads=8)
+
+    def test_fast_path_uniform_ladder(self):
+        # Path B: uniform costs, n > threads, round-robin ladder.
+        tasks = TaskArray.build(23, unlocked_work=4.0, locked_work=0.0)
+        self.run_both(tasks, threads=4)
+
+    def test_zero_cost_tasks_fall_back_to_event_loop(self):
+        # Zero completion times make the legacy heap stack every task
+        # on thread 0; the closed forms must decline and fall back.
+        free = CostModel(
+            task_dispatch=0.0,
+            lock_acquire=0.0,
+            lock_release=0.0,
+            smt_work_scale=1.0,
+        )
+        tasks = TaskArray.build(6, unlocked_work=0.0)
+        scheduler = DynamicScheduler(4, cost_model=free)
+        array_result = scheduler.run(tasks)
+        object_result = scheduler.run(tasks.to_tasks())
+        assert_same_schedule(array_result, object_result)
+        assert array_result.task_thread.tolist() == [0] * 6
+
+    def test_irregular_lockfree_falls_back(self):
+        tasks = TaskArray.build(17, unlocked_work=np.linspace(1.0, 9.0, 17))
+        self.run_both(tasks, threads=4)
+
+    def test_locked_stream(self):
+        rng = np.random.default_rng(5)
+        n = 60
+        tasks = TaskArray.build(
+            n,
+            unlocked_work=rng.uniform(0.0, 20.0, n),
+            locked_work=rng.uniform(0.0, 20.0, n),
+            lock=rng.integers(-1, 4, n),
+            fine_lock=rng.integers(0, 2, n).astype(bool),
+        )
+        result = self.run_both(tasks, threads=6)
+        assert result.contended_acquires > 0
+
+    def test_smt_scale(self):
+        rng = np.random.default_rng(6)
+        n = 40
+        tasks = TaskArray.build(
+            n,
+            unlocked_work=rng.uniform(0.0, 10.0, n),
+            locked_work=rng.uniform(0.0, 10.0, n),
+            lock=rng.integers(-1, 3, n),
+        )
+        self.run_both(tasks, threads=16, physical_cores=8)
+
+    def test_empty_array(self):
+        result = DynamicScheduler(4, cost_model=COST).run(TaskArray.empty())
+        assert result.makespan_cycles == 0.0
+        assert result.task_thread.dtype == np.int32
+        assert len(result.task_thread) == 0
+
+
+class TestChunkedKernels:
+    def test_bincount_matches_loop(self):
+        rng = np.random.default_rng(8)
+        n = 80
+        tasks = TaskArray.build(
+            n,
+            unlocked_work=rng.uniform(0.0, 30.0, n),
+            chunk=rng.integers(0, 16, n),
+        )
+        scheduler = ChunkedScheduler(6, cost_model=COST)
+        assert_same_schedule(scheduler.run(tasks), scheduler.run(tasks.to_tasks()))
+
+    def test_smt_scale(self):
+        tasks = TaskArray.build(
+            12, unlocked_work=np.arange(12, dtype=np.float64), chunk=np.arange(12)
+        )
+        scheduler = ChunkedScheduler(16, physical_cores=8, cost_model=COST)
+        assert_same_schedule(scheduler.run(tasks), scheduler.run(tasks.to_tasks()))
+
+    def test_chunkless_array_rejected(self):
+        tasks = TaskArray.build(3, unlocked_work=1.0)  # chunk = NO_CHUNK
+        with pytest.raises(SimulationError):
+            ChunkedScheduler(2, cost_model=COST).run(tasks)
+
+
+@st.composite
+def task_arrays(draw):
+    n = draw(st.integers(min_value=0, max_value=50))
+    values = st.floats(min_value=0.0, max_value=50.0)
+    return TaskArray.build(
+        n,
+        unlocked_work=np.asarray([draw(values) for _ in range(n)]),
+        locked_work=np.asarray([draw(values) for _ in range(n)]),
+        lock=np.asarray(
+            [draw(st.integers(min_value=-1, max_value=4)) for _ in range(n)],
+            dtype=np.int64,
+        )
+        if n
+        else np.empty(0, dtype=np.int64),
+        fine_lock=np.asarray([draw(st.booleans()) for _ in range(n)], dtype=bool)
+        if n
+        else np.empty(0, dtype=bool),
+    )
+
+
+@given(tasks=task_arrays(), threads=st.integers(min_value=1, max_value=12))
+@settings(max_examples=60, deadline=None)
+def test_property_dynamic_bit_identity(tasks, threads):
+    """Any task batch schedules bit-identically in both representations."""
+    scheduler = DynamicScheduler(threads, physical_cores=6, cost_model=COST)
+    assert_same_schedule(scheduler.run(tasks), scheduler.run(tasks.to_tasks()))
+
+
+@given(tasks=task_arrays(), threads=st.integers(min_value=1, max_value=12))
+@settings(max_examples=40, deadline=None)
+def test_property_chunked_bit_identity(tasks, threads):
+    pinned = TaskArray.build(
+        len(tasks),
+        unlocked_work=tasks.unlocked_work,
+        locked_work=tasks.locked_work,
+        chunk=np.arange(len(tasks), dtype=np.int64) % 7,
+    )
+    scheduler = ChunkedScheduler(threads, physical_cores=6, cost_model=COST)
+    assert_same_schedule(scheduler.run(pinned), scheduler.run(pinned.to_tasks()))
+
+
+class TestTaskArrayContainer:
+    def test_round_trip(self):
+        tasks = [
+            Task(unlocked_work=1.0, locked_work=2.0, lock=3, fine_lock=True),
+            Task(unlocked_work=4.0, chunk=2, overhead=True),
+        ]
+        array = TaskArray.from_tasks(tasks)
+        assert array.to_tasks() == tasks
+        assert array[0].lock == 3
+        assert array[1].lock is None
+        assert array[1].chunk == 2
+        assert len(array) == 2 and bool(array)
+
+    def test_empty_is_falsy(self):
+        assert not TaskArray.empty()
+        assert not TaskArray.empty().has_locks
+
+    def test_concatenate_filters_empty(self):
+        a = TaskArray.build(2, unlocked_work=1.0)
+        merged = TaskArray.concatenate([TaskArray.empty(), a, TaskArray.empty()])
+        assert merged is a
+        both = TaskArray.concatenate([a, TaskArray.build(1, unlocked_work=5.0)])
+        assert both.unlocked_work.tolist() == [1.0, 1.0, 5.0]
+
+    def test_slice_returns_array(self):
+        array = TaskArray.build(4, unlocked_work=[1.0, 2.0, 3.0, 4.0])
+        head = array[:2]
+        assert isinstance(head, TaskArray)
+        assert head.unlocked_work.tolist() == [1.0, 2.0]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TaskArray(
+                unlocked_work=np.zeros(3),
+                locked_work=np.zeros(2),
+                lock=np.zeros(3, dtype=np.int64),
+                chunk=np.zeros(3, dtype=np.int64),
+                fine_lock=np.zeros(3, dtype=bool),
+                overhead=np.zeros(3, dtype=bool),
+            )
