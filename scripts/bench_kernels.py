@@ -35,6 +35,7 @@ import time
 
 from repro.datasets import load_dataset
 from repro.graph import ExecutionContext, make_structure
+from repro.obs import METRICS
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
 from repro.sim.tasks import LEGACY_TASKS_ENV
 
@@ -134,6 +135,30 @@ def bench_structure(name, batches, max_nodes, directed, repeat=3):
     return row
 
 
+def collect_metrics(batches, max_nodes, directed):
+    """Metrics snapshot of one columnar pass over the workload.
+
+    Runs separately from the timed repetitions -- those execute with
+    observability disabled so the reported numbers measure the kernels,
+    not the instrumentation.  The snapshot (tasks emitted, schedules,
+    lock contention per structure) is embedded in the output JSON so a
+    benchmark record also documents what the workload actually did.
+    """
+    os.environ.pop(LEGACY_TASKS_ENV, None)
+    was_enabled = METRICS.enabled
+    METRICS.reset()
+    METRICS.enable()
+    try:
+        for name in STRUCTURE_NAMES:
+            structure = make_structure(name, max_nodes, directed=directed)
+            for batch in batches:
+                structure.update(batch, ExecutionContext(machine=MACHINE))
+        return METRICS.snapshot()
+    finally:
+        METRICS.enabled = was_enabled
+        METRICS.reset()
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -184,6 +209,7 @@ def main(argv=None):
         },
         "python": platform.python_version(),
         "structures": rows,
+        "metrics": collect_metrics(batches, dataset.max_nodes, dataset.directed),
         "legacy_seconds": round(legacy_total, 4),
         "columnar_seconds": round(columnar_total, 4),
         "speedup": round(overall, 2),

@@ -1,0 +1,120 @@
+"""Validate observability outputs: Chrome trace JSON + Prometheus text.
+
+The CI smoke step runs::
+
+    PYTHONPATH=src python -m repro stream --dataset Talk --quick \
+        --trace-out /tmp/t.json --metrics-out /tmp/m.prom
+    PYTHONPATH=src python scripts/validate_obs.py /tmp/t.json /tmp/m.prom
+
+and this script checks the files are structurally sound:
+
+- the trace is valid JSON whose ``traceEvents`` use only known phase
+  types (``B``/``E``/``X``/``M``/``i``), every timed event has
+  non-negative ``ts``/``dur``, the timed stream is ``ts``-monotonic,
+  and at least one simulated-timeline track is present alongside the
+  wall-clock lane;
+- the Prometheus dump parses line by line (``# HELP`` / ``# TYPE`` /
+  sample lines with finite values) and contains the per-batch update
+  latency histogram.
+
+Stdlib only; exits non-zero with a message on the first violation.
+"""
+
+import json
+import math
+import re
+import sys
+
+TIMED_PHASES = {"B", "E", "X", "i"}
+ALLOWED_PHASES = TIMED_PHASES | {"M"}
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+def fail(message):
+    print(f"validate_obs: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def validate_trace(path):
+    with open(path) as handle:
+        payload = json.load(handle)
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    last_ts = None
+    wall_events = sim_events = 0
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            fail(f"{path}: unknown phase {ph!r} in {event}")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: bad ts in {event}")
+        if event.get("dur", 0) < 0:
+            fail(f"{path}: negative dur in {event}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{path}: non-monotonic ts ({ts} after {last_ts})")
+        last_ts = ts
+        if event.get("pid", 0) >= 1000:
+            sim_events += 1
+        else:
+            wall_events += 1
+    if wall_events == 0:
+        fail(f"{path}: no wall-clock events")
+    if sim_events == 0:
+        fail(f"{path}: no simulated-timeline events")
+    print(
+        f"validate_obs: {path}: {wall_events} wall + {sim_events} sim "
+        f"events, monotonic"
+    )
+
+
+def validate_prometheus(path, required=("stream_update_latency_seconds",)):
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        fail(f"{path}: empty")
+    names = set()
+    for number, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[2]:
+                fail(f"{path}:{number}: malformed comment line {line!r}")
+            names.add(parts[2])
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"{path}:{number}: malformed sample line {line!r}")
+        value = line.rsplit(" ", 1)[1]
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                parsed = float(value)
+            except ValueError:
+                fail(f"{path}:{number}: bad value {value!r}")
+            if not math.isfinite(parsed):
+                fail(f"{path}:{number}: non-finite value {value!r}")
+    for name in required:
+        if name not in names:
+            fail(f"{path}: metric {name} missing")
+    print(f"validate_obs: {path}: {len(lines)} lines, {len(names)} families")
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: validate_obs.py TRACE_JSON METRICS_PROM", file=sys.stderr)
+        return 2
+    validate_trace(argv[0])
+    validate_prometheus(argv[1])
+    print("validate_obs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,7 @@ from repro.sim.cache import CacheHierarchy
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.counters import PhaseCounters, derive_counters
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
-from repro.sim.profiling import PROFILER
+from repro.obs.tracer import TRACER
 from repro.sim.scheduler import ScheduleResult
 from repro.sim.trace import TraceRecorder
 from repro.streaming.batching import make_batches
@@ -379,7 +379,7 @@ class HardwareProfiler:
             # ---- compute phase (INC, averaged over algorithms) -----
             compute_counter_list = []
             for alg_name in self.algorithms:
-                with PROFILER.phase("compute"):
+                with TRACER.span("compute"):
                     algorithm = get_algorithm(alg_name)
                     affected = algorithm.affected_from_batch(batch, reference)
                     run = algorithm.inc_run(

@@ -32,6 +32,13 @@ from repro.analysis import degree_table, run_hardware_profile, run_software_prof
 from repro.analysis import report
 from repro.datasets import dataset_names
 from repro.engine import default_store, run_stream
+from repro.obs import (
+    METRICS,
+    TRACER,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
 from repro.sim.profiling import PROFILER
 from repro.streaming import StreamConfig
@@ -167,6 +174,9 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    size_factor = args.size_factor
+    if args.quick and size_factor == 1.0:
+        size_factor = 0.1
     config = StreamConfig(
         batch_size=args.batch_size,
         structures=(args.structure,),
@@ -178,7 +188,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         args.dataset,
         config,
         seed=args.seed,
-        size_factor=args.size_factor,
+        size_factor=size_factor,
         store=default_store(args.cache_dir, no_cache=args.no_cache),
         jobs=args.jobs,
     )
@@ -217,8 +227,29 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         "--profile",
         action="store_true",
         help="print a per-phase wall-time breakdown (emission / schedule / "
-             "cache-replay / compute) after the run; in-process only, so "
-             "cells executed in --jobs worker processes are not captured",
+             "cache-replay / compute) after the run; cells executed in "
+             "--jobs worker processes report back and are merged in",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace_event JSON file (Perfetto-loadable): "
+             "wall-clock span tree plus the simulated per-thread task "
+             "timeline of every scheduled batch",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="write the span events as a JSONL log (one object per line)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write run metrics (batch latency histograms, scheduler and "
+             "cache counters, sweep cell stats) in Prometheus text format",
     )
 
 
@@ -261,23 +292,71 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--batch-size", type=int, default=2500)
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("--size-factor", type=float, default=1.0)
+    stream.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale stream (size factor 0.1 unless --size-factor "
+             "is given explicitly)",
+    )
     stream.add_argument("--verbose", action="store_true")
     _add_engine_args(stream)
     return parser
 
 
+def _sweep_summary() -> Optional[str]:
+    """One-line cell accounting from the metrics registry, or None."""
+    computed = int(METRICS.value("sweep_cells_total", status="computed"))
+    cached = int(METRICS.value("sweep_cells_total", status="cached"))
+    if not (computed or cached):
+        return None
+    wall = 0.0
+    for name, _, _, series in METRICS.families():
+        if name == "sweep_cell_seconds":
+            wall = sum(metric.sum for _, metric in series)
+    line = (
+        f"[sweep] {computed} cells computed in {wall:.2f}s wall, "
+        f"{cached} requests served from cache"
+    )
+    hits = int(METRICS.total("engine_cache_hits_total"))
+    misses = int(METRICS.total("engine_cache_misses_total"))
+    if hits or misses:
+        line += f" (store: {hits} hits, {misses} misses)"
+    return line
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     profiling = getattr(args, "profile", False)
-    if profiling:
-        PROFILER.reset()
-        PROFILER.enable()
+    trace_out = getattr(args, "trace_out", None)
+    events_out = getattr(args, "events_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    tracing = bool(profiling or trace_out or events_out)
+    if tracing:
+        TRACER.reset()
+        TRACER.enable(
+            keep_events=bool(trace_out or events_out),
+            sim_timeline=bool(trace_out),
+        )
+    if metrics_out:
+        METRICS.reset()
+        METRICS.enable()
     try:
         return args.func(args)
     finally:
         if profiling:
             print(PROFILER.report())
-            PROFILER.disable()
+        if trace_out:
+            print(f"[trace written to {write_chrome_trace(TRACER, trace_out)}]")
+        if events_out:
+            print(f"[events written to {write_jsonl(TRACER, events_out)}]")
+        if metrics_out:
+            summary = _sweep_summary()
+            if summary:
+                print(summary)
+            print(f"[metrics written to {write_prometheus(METRICS, metrics_out)}]")
+            METRICS.disable()
+        if tracing:
+            TRACER.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.metrics import METRICS
 from repro.streaming.results import StreamResult
 
 #: Environment variable naming a default cache directory; honored by
@@ -66,6 +67,10 @@ class RunStore:
                 **arrays,
             )
         os.replace(tmp, final)
+        if METRICS.enabled:
+            METRICS.counter(
+                "engine_cache_writes_total", "RunStore entries written"
+            ).inc()
         return final
 
     def load_arrays(
@@ -79,7 +84,7 @@ class RunStore:
         """
         path = self.path(key)
         if not path.exists():
-            self.misses += 1
+            self._count_miss()
             return None
         try:
             with np.load(path, allow_pickle=False) as data:
@@ -88,10 +93,21 @@ class RunStore:
                     name: data[name] for name in data.files if name != "__meta__"
                 }
         except Exception:
-            self.misses += 1
+            self._count_miss()
             return None
         self.hits += 1
+        if METRICS.enabled:
+            METRICS.counter(
+                "engine_cache_hits_total", "RunStore lookups served from disk"
+            ).inc()
         return meta, arrays
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        if METRICS.enabled:
+            METRICS.counter(
+                "engine_cache_misses_total", "RunStore lookups that simulated"
+            ).inc()
 
     # -- stream results -------------------------------------------------
 
@@ -109,7 +125,9 @@ class RunStore:
         except Exception:
             # Entry from an incompatible schema: treat as a miss.
             self.hits -= 1
-            self.misses += 1
+            if METRICS.enabled:
+                METRICS.counter("engine_cache_hits_total").inc(-1)
+            self._count_miss()
             return None
 
 

@@ -22,6 +22,7 @@ Every harness that needs a :class:`~repro.streaming.results.StreamResult`
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -30,6 +31,8 @@ from repro.datasets.catalog import load_dataset
 from repro.engine.fingerprint import stream_run_key
 from repro.engine.store import RunStore
 from repro.errors import ConfigError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.streaming.driver import REP_SEED_STRIDE, StreamConfig, StreamDriver
 from repro.streaming.results import StreamResult
 
@@ -60,13 +63,56 @@ def _cell_config(config: StreamConfig, rep: int, keep_progress: bool) -> StreamC
     )
 
 
+def _obs_flags() -> Optional[dict]:
+    """The parent's observability configuration, for worker re-creation.
+
+    None when observability is off; pool workers then skip the
+    reset/enable dance entirely and return no payload.
+    """
+    if not (TRACER.enabled or METRICS.enabled):
+        return None
+    return {
+        "trace": TRACER.enabled,
+        "keep_events": TRACER.keep_events,
+        "sim_timeline": TRACER.sim_timeline,
+        "metrics": METRICS.enabled,
+    }
+
+
 def _run_stream_cell(
-    payload: Tuple[str, int, float, StreamConfig]
-) -> StreamResult:
-    """Execute one (dataset × repetition) cell; must stay picklable."""
-    dataset_name, seed, size_factor, config = payload
+    payload: Tuple[str, int, float, StreamConfig, Optional[dict]]
+) -> Tuple[StreamResult, float, Optional[dict]]:
+    """Execute one (dataset × repetition) cell; must stay picklable.
+
+    Returns ``(result, wall_seconds, obs_payload)``.  When ``obs`` is
+    set (parallel workers under an observability-enabled parent), the
+    worker resets its fork-inherited global tracer/registry -- they
+    carry the parent's already-collected data -- re-enables them per the
+    parent's flags, and ships its own collection back as a payload for
+    the parent to merge.  Serial cells (``obs`` None) record directly
+    into the parent's live globals.
+    """
+    dataset_name, seed, size_factor, config, obs = payload
+    if obs is not None:
+        TRACER.disable()
+        TRACER.reset()
+        METRICS.reset()
+        if obs["trace"]:
+            TRACER.enable(
+                keep_events=obs["keep_events"], sim_timeline=obs["sim_timeline"]
+            )
+        METRICS.enabled = bool(obs["metrics"])
+    started = time.perf_counter()
     dataset = load_dataset(dataset_name, seed=seed, size_factor=size_factor)
-    return StreamDriver(config).run(dataset)
+    result = StreamDriver(config).run(dataset)
+    wall = time.perf_counter() - started
+    obs_payload = None
+    if obs is not None and (obs["trace"] or obs["metrics"]):
+        obs_payload = {
+            "trace": TRACER.to_payload(),
+            "metrics": METRICS.to_payload(),
+        }
+    return result, wall, obs_payload
 
 
 def run_many(
@@ -79,7 +125,7 @@ def run_many(
         raise ConfigError(f"jobs must be >= 0, got {jobs}")
     results: List[Optional[StreamResult]] = [None] * len(requests)
     keys: List[Optional[str]] = [None] * len(requests)
-    cells: List[Tuple[int, Tuple[str, int, float, StreamConfig]]] = []
+    cells: List[Tuple[int, int, Tuple[str, int, float, StreamConfig]]] = []
     parallel = bool(jobs and jobs > 1)
     for index, request in enumerate(requests):
         if store is not None:
@@ -87,11 +133,18 @@ def run_many(
             cached = store.load_stream_result(keys[index])
             if cached is not None:
                 results[index] = cached
+                if METRICS.enabled:
+                    METRICS.counter(
+                        "sweep_cells_total",
+                        "sweep requests/cells by resolution",
+                        status="cached",
+                    ).inc()
                 continue
         for rep in range(request.config.repetitions):
             cells.append(
                 (
                     index,
+                    rep,
                     (
                         request.dataset,
                         request.seed,
@@ -102,15 +155,49 @@ def run_many(
             )
     if cells:
         if parallel and len(cells) > 1:
+            # Workers re-create the parent's obs configuration locally
+            # and return their collection as a payload; anything that
+            # runs in-process instead gets obs=None and records into
+            # the parent's live tracer/registry directly.
+            obs = _obs_flags()
             with ProcessPoolExecutor(max_workers=jobs) as pool:
                 cell_results = list(
-                    pool.map(_run_stream_cell, [payload for _, payload in cells])
+                    pool.map(
+                        _run_stream_cell,
+                        [payload + (obs,) for _, _, payload in cells],
+                    )
                 )
         else:
-            cell_results = [_run_stream_cell(payload) for _, payload in cells]
+            cell_results = [
+                _run_stream_cell(payload + (None,)) for _, _, payload in cells
+            ]
         by_request: Dict[int, List[StreamResult]] = {}
-        for (index, _), result in zip(cells, cell_results):
+        for (index, rep, payload), (result, wall, obs_payload) in zip(
+            cells, cell_results
+        ):
             by_request.setdefault(index, []).append(result)
+            if obs_payload is not None:
+                METRICS.merge_payload(obs_payload["metrics"])
+                TRACER.absorb(
+                    obs_payload["trace"],
+                    origin=f"{payload[0]}-r{rep}" if rep else None,
+                )
+            if METRICS.enabled:
+                METRICS.histogram(
+                    "sweep_cell_seconds",
+                    "wall time per (dataset x repetition) cell",
+                    dataset=payload[0],
+                ).observe(wall)
+                METRICS.counter(
+                    "sweep_cells_total",
+                    "sweep requests/cells by resolution",
+                    status="computed",
+                ).inc()
+            progress = requests[index].config.progress
+            if parallel and progress is not None:
+                progress(
+                    f"cell {payload[0]} rep {rep}: {wall:.2f}s wall"
+                )
         for index, parts in by_request.items():
             merged = StreamResult.merge(parts)
             results[index] = merged

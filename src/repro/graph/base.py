@@ -35,8 +35,9 @@ from repro.errors import StructureError
 from repro.graph.edge import EdgeBatch
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.memory import AddressSpace
-from repro.sim.profiling import PROFILER
 from repro.sim.scheduler import (
     ScheduleResult,
     Task,
@@ -196,10 +197,13 @@ class GraphDataStructure(abc.ABC):
         if ctx is None:
             ctx = ExecutionContext()
         recorder = ctx.effective_recorder
-        with PROFILER.phase("emission"):
+        with TRACER.span("emission"):
             tasks, inserted, duplicates = self._ingest(batch, recorder, delete=False)
-        with PROFILER.phase("schedule"):
+        with TRACER.span("schedule") as span:
             schedule = self._schedule(tasks, ctx)
+            span.add_cycles(schedule.makespan_cycles)
+        if METRICS.enabled:
+            self._record_schedule_metrics(schedule)
         trace = recorder.finalize() if ctx.recorder is not None else None
         result = UpdateResult(
             schedule=schedule,
@@ -226,10 +230,13 @@ class GraphDataStructure(abc.ABC):
         if ctx is None:
             ctx = ExecutionContext()
         recorder = ctx.effective_recorder
-        with PROFILER.phase("emission"):
+        with TRACER.span("emission"):
             tasks, removed, missing = self._ingest(batch, recorder, delete=True)
-        with PROFILER.phase("schedule"):
+        with TRACER.span("schedule") as span:
             schedule = self._schedule(tasks, ctx)
+            span.add_cycles(schedule.makespan_cycles)
+        if METRICS.enabled:
+            self._record_schedule_metrics(schedule)
         trace = recorder.finalize() if ctx.recorder is not None else None
         result = UpdateResult(
             schedule=schedule,
@@ -390,8 +397,36 @@ class GraphDataStructure(abc.ABC):
         ingest can be re-priced at many machine shapes (the Fig. 9(a)
         core-scaling sweep).
         """
-        with PROFILER.phase("schedule"):
-            return self._schedule(tasks, ctx)
+        with TRACER.span("schedule") as span:
+            schedule = self._schedule(tasks, ctx)
+            span.add_cycles(schedule.makespan_cycles)
+        if METRICS.enabled:
+            self._record_schedule_metrics(schedule)
+        return schedule
+
+    def _record_schedule_metrics(self, schedule: ScheduleResult) -> None:
+        """Fold one schedule's aggregates into the metrics registry."""
+        METRICS.counter(
+            "sim_schedules_total",
+            "phase schedules executed",
+            structure=self.name,
+        ).inc()
+        METRICS.counter(
+            "sim_tasks_emitted_total",
+            "tasks emitted into the schedulers",
+            structure=self.name,
+        ).inc(schedule.task_count)
+        if schedule.contended_acquires:
+            METRICS.counter(
+                "sim_lock_contended_acquires_total",
+                "contended lock acquires observed by the DES scheduler",
+                structure=self.name,
+            ).inc(schedule.contended_acquires)
+            METRICS.counter(
+                "sim_lock_wait_cycles_total",
+                "simulated cycles spent waiting on locks",
+                structure=self.name,
+            ).inc(schedule.lock_wait_cycles)
 
     # ------------------------------------------------------------------
     # Queries

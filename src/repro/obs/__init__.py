@@ -1,0 +1,59 @@
+"""Unified observability: span tracing, metrics, exporters.
+
+The measurement layers of this repo (driver, simulator, sweep engine)
+record into two process-global singletons:
+
+- :data:`TRACER` -- a nested, thread-safe span tracer carrying both
+  wall time and simulated-cycle attribution
+  (:mod:`repro.obs.tracer`).  The legacy ``PROFILER`` phase timer in
+  :mod:`repro.sim.profiling` is now a thin shim over it.
+- :data:`METRICS` -- a registry of counters, gauges, and fixed-bucket
+  histograms with an explicit cross-process ``merge``
+  (:mod:`repro.obs.metrics`).
+
+Both are **disabled by default** and cost one attribute check per
+recording site when off.  The CLI's ``--trace-out`` / ``--metrics-out``
+flags (on every subcommand) enable them and export on exit:
+
+- Chrome ``trace_event`` JSON, loadable in Perfetto (wall-clock span
+  tree plus per-thread simulated task timelines from the DES
+  schedulers);
+- Prometheus text format;
+- JSONL event log (``--events-out``).
+
+See ``docs/OBSERVABILITY.md`` for capture and reading instructions.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_SPAN, SpanTracer, TRACER
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SpanTracer",
+    "TRACER",
+    "chrome_trace_events",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

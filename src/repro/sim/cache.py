@@ -18,8 +18,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.machine import MachineConfig
-from repro.sim.profiling import PROFILER
 from repro.sim.trace import MemoryTrace
 
 
@@ -157,8 +158,31 @@ class CacheHierarchy:
         ``task_thread`` maps each task id in the trace to the thread
         that executed it (from a :class:`~repro.sim.scheduler.ScheduleResult`).
         """
-        with PROFILER.phase("cache-replay"):
-            return self._replay(trace, task_thread)
+        with TRACER.span("cache-replay"):
+            stats = self._replay(trace, task_thread)
+        if METRICS.enabled:
+            self._record_metrics(stats)
+        return stats
+
+    def _record_metrics(self, stats: CacheStats) -> None:
+        """Fold one replay's statistics into the metrics registry."""
+        METRICS.counter(
+            "sim_cache_replays_total", "memory traces replayed"
+        ).inc()
+        METRICS.counter(
+            "sim_cache_accesses_total", "line accesses replayed"
+        ).inc(stats.accesses)
+        for level, hits, misses in (
+            ("l1", stats.l1_hits, stats.l1_misses),
+            ("l2", stats.l2_hits, stats.l2_misses),
+            ("llc", stats.llc_hits, stats.llc_misses),
+        ):
+            METRICS.counter(
+                "sim_cache_hits_total", "cache hits per level", level=level
+            ).inc(hits)
+            METRICS.counter(
+                "sim_cache_misses_total", "cache misses per level", level=level
+            ).inc(misses)
 
     def _replay(self, trace: MemoryTrace, task_thread: np.ndarray) -> CacheStats:
         machine = self.machine

@@ -1,74 +1,75 @@
-"""Lightweight per-phase wall-time profiling for harness runs.
+"""Compatibility shim: ``PhaseTimer`` over the :mod:`repro.obs` tracer.
 
-The CLI's ``--profile`` flag enables a process-global
-:class:`PhaseTimer`; the hot layers then attribute wall time to four
-coarse phases so perf work has a baseline to compare against:
+Historically this module owned a flat, process-global phase timer with
+a documented no-nesting limitation (re-entering a phase double-counted
+the inner interval).  The timing engine now lives in
+:class:`repro.obs.tracer.SpanTracer`, which tracks nesting per thread
+and aggregates **self-time** (a span's duration minus its children's),
+so nested or re-entered phases attribute correctly.
 
-- ``emission`` -- turning a batch into tasks inside a data structure;
-- ``schedule`` -- turning tasks into a makespan;
-- ``cache-replay`` -- replaying memory traces through the hierarchy;
-- ``compute`` -- the algorithm runs plus compute-phase pricing.
+:class:`PhaseTimer` survives as a thin facade so existing callers -- and
+the ``--profile`` report format -- keep working:
 
-The timer is disabled by default and, when disabled, the ``phase``
-context manager short-circuits without touching the clock, so
-instrumented code pays one attribute check in the common case.
-Phases never nest in the instrumented call graph; re-entering a phase
-(or entering another phase) while one is open simply attributes the
-inner span to the inner phase as an independent interval.
+- ``PROFILER`` is bound to the process-global :data:`repro.obs.TRACER`,
+  the same tracer the ``--trace-out`` exporters read;
+- a standalone ``PhaseTimer()`` gets its own private tracer (useful in
+  tests);
+- ``phase`` / ``add`` / ``totals`` / ``report`` behave as before,
+  except that ``totals`` now reports self-time.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Optional, Tuple
+
+from repro.obs.tracer import SpanTracer, TRACER
 
 
 class PhaseTimer:
-    """Accumulates wall seconds and entry counts per named phase."""
+    """Accumulates wall seconds and entry counts per named phase.
 
-    __slots__ = ("enabled", "_totals", "_counts")
+    A facade over a :class:`~repro.obs.tracer.SpanTracer`; see the
+    module docstring for the semantics change (self-time attribution).
+    """
 
-    def __init__(self) -> None:
-        self.enabled = False
-        self._totals: Dict[str, float] = {}
-        self._counts: Dict[str, int] = {}
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: Optional[SpanTracer] = None) -> None:
+        self._tracer = tracer if tracer is not None else SpanTracer()
+
+    @property
+    def enabled(self) -> bool:
+        return self._tracer.enabled
+
+    @property
+    def tracer(self) -> SpanTracer:
+        """The underlying span tracer."""
+        return self._tracer
 
     def enable(self) -> None:
-        self.enabled = True
+        self._tracer.enable()
 
     def disable(self) -> None:
-        self.enabled = False
+        self._tracer.disable()
 
     def reset(self) -> None:
-        self._totals.clear()
-        self._counts.clear()
+        self._tracer.reset()
 
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Attribute the enclosed wall time to ``name`` (if enabled)."""
-        if not self.enabled:
-            yield
-            return
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - started
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
-            self._counts[name] = self._counts.get(name, 0) + 1
+    def phase(self, name: str):
+        """Attribute the enclosed wall time to ``name`` (if enabled).
+
+        Returns a reusable context manager; nested phases attribute
+        self-time to each level instead of double-counting.
+        """
+        return self._tracer.span(name)
 
     def add(self, name: str, seconds: float) -> None:
         """Attribute ``seconds`` to ``name`` directly (no timing)."""
-        self._totals[name] = self._totals.get(name, 0.0) + seconds
-        self._counts[name] = self._counts.get(name, 0) + 1
+        self._tracer.add_seconds(name, seconds)
 
     def totals(self) -> Dict[str, Tuple[float, int]]:
-        """{phase: (seconds, entries)} accumulated so far."""
-        return {
-            name: (self._totals[name], self._counts[name])
-            for name in self._totals
-        }
+        """{phase: (self seconds, entries)} accumulated so far."""
+        return self._tracer.phase_totals()
 
     def report(self) -> str:
         """Plain-text breakdown, phases sorted by descending time."""
@@ -88,5 +89,7 @@ class PhaseTimer:
         return "\n".join(lines)
 
 
-#: The process-global timer used by the instrumented layers.
-PROFILER = PhaseTimer()
+#: The process-global timer used by the instrumented layers; bound to
+#: the observability tracer so ``--profile`` and ``--trace-out`` read
+#: one consistent record.
+PROFILER = PhaseTimer(tracer=TRACER)

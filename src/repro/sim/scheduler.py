@@ -47,6 +47,8 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim import ckernel
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.tasks import (  # noqa: F401 - Task is re-exported
@@ -117,6 +119,31 @@ def _empty_result(threads: int) -> ScheduleResult:
     )
 
 
+def _chunked_timeline(tid, scaled_work) -> tuple:
+    """Per-task (start, end) cycles for chunk-pinned serial execution.
+
+    A thread executes its tasks serially in task order, so a task's
+    start is the running occupancy of its thread.  Used only when the
+    tracer's simulated-timeline capture is on.
+    """
+    n = len(tid)
+    starts = np.empty(n)
+    ends = np.empty(n)
+    offsets: dict = {}
+    tid_list = tid.tolist() if hasattr(tid, "tolist") else list(tid)
+    work_list = (
+        scaled_work.tolist() if hasattr(scaled_work, "tolist") else list(scaled_work)
+    )
+    for i in range(n):
+        t = tid_list[i]
+        start = offsets.get(t, 0.0)
+        end = start + work_list[i]
+        offsets[t] = end
+        starts[i] = start
+        ends[i] = end
+    return starts, ends
+
+
 def _sequential_sum(values: np.ndarray) -> float:
     """Left-to-right float64 sum, bit-identical to a Python ``+=`` loop.
 
@@ -169,10 +196,22 @@ class DynamicScheduler:
         if n == 0:
             return _empty_result(self.threads)
         scale = _work_scale(self.threads, self.physical_cores, self.cost)
+        # Timeline capture (``--trace-out``) needs per-task start/end
+        # times, which only the explicit event loop produces; the
+        # closed forms and the compiled kernel are bypassed.  The
+        # resulting ScheduleResult fields are bit-identical either way.
+        if TRACER.sim_timeline:
+            return self._run_array_event_loop_timeline(tasks, scale)
         if not tasks.has_locks:
             result = self._run_array_lockfree(tasks, scale)
             if result is not None:
                 return result
+            if METRICS.enabled:
+                METRICS.counter(
+                    "sim_scheduler_fastpath_retries_total",
+                    "lock-free closed-form bailed; stream replayed "
+                    "through the event loop",
+                ).inc()
         return self._run_array_event_loop(tasks, scale)
 
     def _run_array_lockfree(
@@ -470,6 +509,92 @@ class DynamicScheduler:
             contended_acquires=contended,
         )
 
+    def _run_array_event_loop_timeline(
+        self, tasks: TaskArray, scale: float
+    ) -> ScheduleResult:
+        """Event loop with per-task (start, end) capture for tracing.
+
+        Replicates :meth:`_run_array_event_loop`'s general branch
+        operation-for-operation (same term grouping, same heap
+        discipline), additionally recording when each task's thread
+        picks it up and when it completes.  The timeline lands in
+        ``result.extra["timeline"]`` as ``(starts, ends)`` cycle
+        arrays; the driver converts them to simulated microseconds.
+        """
+        n = len(tasks)
+        threads = self.threads
+        cost = self.cost
+        dispatch = (cost.task_dispatch / self.dispatch_chunk) * scale
+        acquire_base = cost.lock_acquire + cost.lock_release
+        unlocked = tasks.unlocked_work
+        locked = tasks.locked_work
+        penalty = np.where(
+            tasks.fine_lock,
+            cost.fine_lock_contended_penalty,
+            cost.lock_contended_penalty,
+        )
+        work = unlocked + locked
+        unlocked_scaled = (unlocked * scale).tolist()
+        locked_scaled = (locked * scale).tolist()
+        locked_uncont = ((locked + acquire_base) * scale).tolist()
+        locked_cont = ((locked + (acquire_base + penalty)) * scale).tolist()
+        locks = tasks.lock.tolist()
+
+        free_at = [(0.0, t) for t in range(threads)]
+        heapq.heapify(free_at)
+        heapreplace = heapq.heapreplace
+        lock_free: dict = {}
+        lock_get = lock_free.get
+        busy = [0.0] * threads
+        assignment = np.empty(n, dtype=np.int32)
+        starts = np.empty(n)
+        ends = np.empty(n)
+        contended_idx: list = []
+        append_contended = contended_idx.append
+        waits: list = []
+        append_wait = waits.append
+
+        for i in range(n):
+            u = unlocked_scaled[i]
+            lock = locks[i]
+            t_free, tid = free_at[0]
+            unlocked_end = (t_free + dispatch) + u
+            if lock >= 0:
+                acquire_ready = lock_get(lock, 0.0)
+                if acquire_ready > unlocked_end:
+                    append_contended(i)
+                    append_wait(acquire_ready - unlocked_end)
+                    end = acquire_ready + locked_cont[i]
+                else:
+                    end = unlocked_end + locked_uncont[i]
+                lock_free[lock] = end
+            else:
+                end = unlocked_end + locked_scaled[i]
+            assignment[i] = tid
+            starts[i] = t_free
+            ends[i] = end
+            busy[tid] += end - t_free
+            heapreplace(free_at, (end, tid))
+
+        makespan = max(t for t, _ in free_at)
+        work_values = np.where(tasks.lock >= 0, work + acquire_base, work)
+        if contended_idx:
+            idx = np.asarray(contended_idx)
+            work_values[idx] = (work + (acquire_base + penalty))[idx]
+        total_work = _sequential_sum(work_values)
+        lock_wait = _sequential_sum(np.asarray(waits)) if waits else 0.0
+        return ScheduleResult(
+            makespan_cycles=makespan,
+            total_work_cycles=total_work,
+            threads=threads,
+            task_count=n,
+            thread_busy_cycles=np.asarray(busy),
+            task_thread=assignment,
+            lock_wait_cycles=lock_wait,
+            contended_acquires=len(contended_idx),
+            extra={"timeline": (starts, ends)},
+        )
+
     # -- legacy object loop --------------------------------------------
 
     def _run_objects(self, tasks: Sequence[Task]) -> ScheduleResult:
@@ -482,6 +607,9 @@ class DynamicScheduler:
         task_thread = np.empty(n, dtype=np.int32)
         if n == 0:
             return _empty_result(threads)
+        timeline = TRACER.sim_timeline
+        starts = np.empty(n) if timeline else None
+        ends = np.empty(n) if timeline else None
 
         # Min-heap of (free_time, thread_id): the next free thread pulls
         # the next task (the essence of dynamic scheduling).
@@ -518,6 +646,9 @@ class DynamicScheduler:
                 total_work += task.total_work
             task_thread[i] = tid
             thread_busy[tid] += end - t_free
+            if timeline:
+                starts[i] = t_free
+                ends[i] = end
             heapq.heappush(free_at, (end, tid))
 
         makespan = max(t for t, _ in free_at)
@@ -530,6 +661,7 @@ class DynamicScheduler:
             task_thread=task_thread,
             lock_wait_cycles=lock_wait,
             contended_acquires=contended,
+            extra={"timeline": (starts, ends)} if timeline else {},
         )
 
 
@@ -579,6 +711,11 @@ class ChunkedScheduler:
         tid = chunk % threads
         work = tasks.unlocked_work + tasks.locked_work
         thread_busy = np.bincount(tid, weights=work * scale, minlength=threads)
+        extra = (
+            {"timeline": _chunked_timeline(tid, work * scale)}
+            if TRACER.sim_timeline
+            else {}
+        )
         return ScheduleResult(
             makespan_cycles=float(thread_busy.max()),
             total_work_cycles=_sequential_sum(work),
@@ -587,6 +724,7 @@ class ChunkedScheduler:
             thread_busy_cycles=thread_busy,
             task_thread=tid.astype(np.int32),
             active_threads=int(np.count_nonzero(np.bincount(tid, minlength=1))),
+            extra=extra,
         )
 
     def _run_objects(self, tasks: Sequence[Task]) -> ScheduleResult:
@@ -606,6 +744,10 @@ class ChunkedScheduler:
             total_work += work
             task_thread[i] = tid
         makespan = float(thread_busy.max()) if n else 0.0
+        extra = {}
+        if TRACER.sim_timeline and n:
+            scaled = [task.total_work * scale for task in tasks]
+            extra["timeline"] = _chunked_timeline(task_thread, scaled)
         return ScheduleResult(
             makespan_cycles=makespan,
             total_work_cycles=total_work,
@@ -614,6 +756,7 @@ class ChunkedScheduler:
             thread_busy_cycles=thread_busy,
             task_thread=task_thread,
             active_threads=len(set(task_thread.tolist())) if n else None,
+            extra=extra,
         )
 
 

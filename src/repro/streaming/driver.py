@@ -18,9 +18,8 @@ Batch processing latency = update latency + compute latency
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -30,9 +29,11 @@ from repro.datasets.catalog import DEFAULT_BATCH_SIZE, Dataset
 from repro.errors import ConfigError
 from repro.graph import STRUCTURES, ReferenceGraph, make_structure
 from repro.graph.base import ExecutionContext
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
-from repro.sim.profiling import PROFILER
+from repro.sim.scheduler import ScheduleResult
 from repro.streaming.batching import make_batches
 from repro.streaming.results import BatchRecord, StreamResult
 
@@ -224,9 +225,46 @@ class StreamDriver:
             repetitions=cfg.repetitions,
             batches_per_rep=batches_per_rep,
         )
+        # Simulated clock per timeline track (dataset/structure): batches
+        # abut on the track even though each schedule starts at cycle 0.
+        sim_clocks: Dict[str, float] = {}
         for rep in range(cfg.repetitions):
-            self._run_repetition(dataset, rep, source, ctx, result)
+            self._run_repetition(dataset, rep, source, ctx, result, sim_clocks)
         return result
+
+    def _observe_update(
+        self,
+        dataset: Dataset,
+        structure_name: str,
+        schedule: ScheduleResult,
+        ctx: ExecutionContext,
+        sim_clocks: Dict[str, float],
+        label: str,
+    ) -> None:
+        """Per-batch observability for one structure's update schedule."""
+        if METRICS.enabled:
+            METRICS.histogram(
+                "stream_update_latency_seconds",
+                "simulated per-batch update latency",
+                structure=structure_name,
+            ).observe(ctx.seconds(schedule.makespan_cycles))
+        if TRACER.sim_timeline:
+            track = f"{dataset.name}/{structure_name}"
+            offset = sim_clocks.get(track, 0.0)
+            to_us = 1e6 / ctx.machine.frequency_hz
+            timeline = schedule.extra.get("timeline")
+            if timeline is not None:
+                starts, ends = timeline
+                starts_us = np.asarray(starts, dtype=np.float64) * to_us + offset
+                ends_us = np.asarray(ends, dtype=np.float64) * to_us + offset
+                TRACER.record_schedule_threads(
+                    track,
+                    np.asarray(schedule.task_thread, dtype=np.int64).tolist(),
+                    starts_us.tolist(),
+                    ends_us.tolist(),
+                    [label] * len(starts_us),
+                )
+            sim_clocks[track] = offset + schedule.makespan_cycles * to_us
 
     def _run_repetition(
         self,
@@ -235,6 +273,7 @@ class StreamDriver:
         source: int,
         ctx: ExecutionContext,
         result: StreamResult,
+        sim_clocks: Dict[str, float],
     ) -> None:
         cfg = self.config
         batches = make_batches(
@@ -276,6 +315,9 @@ class StreamDriver:
                 update = structure.update(batch, ctx)
                 record.update_cycles[name] = update.latency_cycles
                 structure_inserted[name] = update.edges_inserted
+                self._observe_update(
+                    dataset, name, update.schedule, ctx, sim_clocks, "update"
+                )
             inserted = reference.update_collect(batch)
             # The reference graph is the single source of truth for how
             # many unique edges the batch contributed; the instrumented
@@ -307,6 +349,10 @@ class StreamDriver:
                 for name, structure in structures.items():
                     deletion = structure.delete(victims, ctx)
                     record.update_cycles[name] += deletion.latency_cycles
+                    self._observe_update(
+                        dataset, name, deletion.schedule, ctx, sim_clocks,
+                        "delete",
+                    )
                 removed = reference.delete_collect(victims)
                 if removed:
                     rem_src, rem_dst, rem_weight = _edge_arrays(removed)
@@ -326,54 +372,74 @@ class StreamDriver:
             in_edges = incidence.view()
 
             # ---- Compute phase: each algorithm under each model ----
-            compute_started = time.perf_counter()
-            for alg_name in cfg.algorithms:
-                algorithm = get_algorithm(alg_name)
-                for model in cfg.models:
-                    if model == "FS":
-                        run = algorithm.fs_run(
-                            reference, source=source, in_edges=in_edges
-                        )
-                    else:
-                        affected = algorithm.affected_from_batch(batch, reference)
-                        runs = [
-                            algorithm.inc_run(
-                                reference, states[alg_name], affected, source=source
+            with TRACER.span("compute") as compute_span:
+                for alg_name in cfg.algorithms:
+                    algorithm = get_algorithm(alg_name)
+                    for model in cfg.models:
+                        if model == "FS":
+                            run = algorithm.fs_run(
+                                reference, source=source, in_edges=in_edges
                             )
-                        ]
-                        if removed:
-                            # Churn: repair the state after deletions
-                            # (sound KickStarter-style invalidation);
-                            # its cost belongs to this compute phase.
-                            runs.append(
-                                algorithm.inc_delete_run(
-                                    reference, states[alg_name], removed,
+                        else:
+                            affected = algorithm.affected_from_batch(
+                                batch, reference
+                            )
+                            runs = [
+                                algorithm.inc_run(
+                                    reference, states[alg_name], affected,
                                     source=source,
                                 )
-                            )
-                        run = runs[0]
-                    if model == "FS" or not removed:
-                        runs = [run]
-                    record.compute_iterations[(alg_name, model)] = sum(
-                        r.iteration_count for r in runs
-                    )
-                    for structure_name in cfg.structures:
-                        cycles = 0.0
-                        for priced_run in runs:
-                            pricing = price_compute_run(
-                                priced_run,
-                                structure_name,
-                                deg_in[:n],
-                                deg_out[:n],
-                                ctx,
-                                neighbor_degree_query=algorithm.neighbor_degree_query,
-                            )
-                            cycles += pricing.latency_cycles
-                        record.compute_cycles[(alg_name, model, structure_name)] = (
-                            cycles
+                            ]
+                            if removed:
+                                # Churn: repair the state after deletions
+                                # (sound KickStarter-style invalidation);
+                                # its cost belongs to this compute phase.
+                                runs.append(
+                                    algorithm.inc_delete_run(
+                                        reference, states[alg_name], removed,
+                                        source=source,
+                                    )
+                                )
+                            run = runs[0]
+                        if model == "FS" or not removed:
+                            runs = [run]
+                        record.compute_iterations[(alg_name, model)] = sum(
+                            r.iteration_count for r in runs
                         )
-            if PROFILER.enabled:
-                PROFILER.add("compute", time.perf_counter() - compute_started)
+                        for structure_name in cfg.structures:
+                            cycles = 0.0
+                            for priced_run in runs:
+                                pricing = price_compute_run(
+                                    priced_run,
+                                    structure_name,
+                                    deg_in[:n],
+                                    deg_out[:n],
+                                    ctx,
+                                    neighbor_degree_query=algorithm.neighbor_degree_query,
+                                )
+                                cycles += pricing.latency_cycles
+                            record.compute_cycles[
+                                (alg_name, model, structure_name)
+                            ] = cycles
+                            compute_span.add_cycles(cycles)
+                            if METRICS.enabled:
+                                METRICS.histogram(
+                                    "stream_compute_latency_seconds",
+                                    "simulated per-batch compute latency",
+                                    algorithm=alg_name,
+                                    model=model,
+                                    structure=structure_name,
+                                ).observe(ctx.seconds(cycles))
+            if METRICS.enabled:
+                METRICS.counter(
+                    "stream_batches_total", "batches processed",
+                    dataset=dataset.name,
+                ).inc()
+                METRICS.counter(
+                    "stream_edges_inserted_total",
+                    "unique edges ingested across batches",
+                    dataset=dataset.name,
+                ).inc(record.edges_inserted)
             result.add_record(record)
             if cfg.progress is not None:
                 cfg.progress(

@@ -1,0 +1,435 @@
+"""Tests for the observability layer: tracer, metrics, exporters.
+
+Covers the disabled-path cost contract (shared no-op span, no
+collection), span nesting self-time attribution, the registry merge
+used by parallel sweeps, golden-shape validation of the Chrome-trace
+and Prometheus exporters, the ``PhaseTimer`` compatibility shim, the
+CLI ``--trace-out`` / ``--metrics-out`` wiring, and the acceptance
+guarantees: simulated-timeline capture does not change results, and a
+``jobs=2`` sweep's merged metrics equal a serial run's.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import run_stream
+from repro.obs import (
+    METRICS,
+    NULL_SPAN,
+    TRACER,
+    MetricsRegistry,
+    SpanTracer,
+    chrome_trace_events,
+    prometheus_text,
+)
+from repro.sim.profiling import PhaseTimer
+from repro.streaming import StreamConfig, StreamDriver
+from repro.datasets import load_dataset
+
+
+@pytest.fixture(autouse=True)
+def clean_globals():
+    """Each test starts and ends with the global obs state off."""
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    METRICS.disable()
+    METRICS.reset()
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_singleton(self):
+        tracer = SpanTracer()
+        assert tracer.span("a") is NULL_SPAN
+        assert tracer.span("b", cat="x", args={"k": 1}) is NULL_SPAN
+
+    def test_null_span_swallows_mutations(self):
+        with NULL_SPAN as span:
+            span.add_cycles(10.0)
+            span.set_args(k=1)
+
+    def test_disabled_tracer_collects_nothing(self):
+        tracer = SpanTracer()
+        with tracer.span("phase"):
+            pass
+        tracer.add_seconds("phase", 1.0)
+        tracer.record_schedule("track", [0.0], [1.0])
+        assert tracer.phase_totals() == {}
+        assert tracer.events() == []
+        assert tracer.sim_tracks() == {}
+
+    def test_disabled_registry_shares_handles_but_guard_is_the_contract(self):
+        registry = MetricsRegistry()
+        assert not registry.enabled
+        # Recording sites guard with `if METRICS.enabled:`; the global
+        # instrumented paths must leave the registry empty when off.
+        dataset = load_dataset("Talk", size_factor=0.05)
+        StreamDriver(StreamConfig(batch_size=2000, structures=("DAH",),
+                                  algorithms=("PR",))).run(dataset)
+        assert METRICS.snapshot() == {}
+        assert TRACER.events() == []
+
+
+class TestSpanNesting:
+    def test_self_time_excludes_children(self):
+        # Drive push/pop with synthetic timestamps: real clocks would
+        # make the exact self-time assertions brittle.
+        tracer = SpanTracer()
+        tracer.enable()
+        outer = tracer.span("outer")
+        tracer._push(outer)
+        outer.start = 0.0
+        inner = tracer.span("inner")
+        tracer._push(inner)
+        inner.start = 1.0
+        tracer._pop(inner, 5.0)
+        tracer._pop(outer, 10.0)
+        totals = tracer.phase_totals()
+        assert totals["inner"] == (4.0, 1)
+        assert totals["outer"] == (pytest.approx(6.0), 1)
+
+    def test_reentered_phase_does_not_double_count(self):
+        tracer = SpanTracer()
+        tracer.enable()
+        outer = tracer.span("phase")
+        tracer._push(outer)
+        outer.start = 0.0
+        nested = tracer.span("phase")
+        tracer._push(nested)
+        nested.start = 2.0
+        tracer._pop(nested, 6.0)
+        tracer._pop(outer, 10.0)
+        seconds, count = tracer.phase_totals()["phase"]
+        assert seconds == pytest.approx(10.0)
+        assert count == 2
+
+    def test_cycles_attribution(self):
+        tracer = SpanTracer()
+        tracer.enable()
+        with tracer.span("schedule") as span:
+            span.add_cycles(100.0)
+            span.add_cycles(50.0)
+        assert tracer.phase_cycles()["schedule"] == 150.0
+
+    def test_events_recorded_when_kept(self):
+        tracer = SpanTracer()
+        tracer.enable(keep_events=True)
+        with tracer.span("a", cat="phase", args={"batch": 0}):
+            pass
+        (event,) = tracer.events()
+        name, cat, tid, start, dur, cycles, args = event
+        assert name == "a" and cat == "phase" and args == {"batch": 0}
+        assert dur >= 0.0
+
+    def test_event_cap_drops_not_grows(self):
+        tracer = SpanTracer(max_events=2)
+        tracer.enable(keep_events=True)
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        assert len(tracer.events()) == 2
+        assert tracer.dropped_events == 3
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help").inc()
+        registry.counter("c", "help").inc(2)
+        registry.gauge("g").set(7)
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(9.0)
+        assert registry.value("c") == 3
+        assert registry.value("g") == 7
+        assert hist.cumulative() == [1, 2, 3]
+        assert hist.sum == pytest.approx(11.0)
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_labels_are_order_insensitive(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        registry.counter("c", b="2", a="1").inc()
+        assert registry.value("c", a="1", b="2") == 2
+
+    def test_merge_across_simulated_workers(self):
+        parent = MetricsRegistry()
+        workers = []
+        for w in range(3):
+            worker = MetricsRegistry()
+            worker.counter("tasks", "t", structure="DAH").inc(10 * (w + 1))
+            worker.gauge("last").set(w)
+            worker.histogram("lat", buckets=(1.0,)).observe(0.5 + w)
+            workers.append(worker)
+        for worker in workers:
+            parent.merge(worker)
+        assert parent.value("tasks", structure="DAH") == 60
+        assert parent.value("last") == 2  # gauges take the incoming value
+        hist = parent.histogram("lat", buckets=(1.0,))
+        assert hist.count == 3
+        assert hist.cumulative() == [1, 3]
+
+    def test_merge_is_associative(self):
+        def build(values):
+            registry = MetricsRegistry()
+            for v in values:
+                registry.counter("c").inc(v)
+                registry.histogram("h", buckets=(1.0, 2.0)).observe(v)
+            return registry
+
+        left = build([0.5, 1.5])
+        left.merge(build([2.5]))
+        right = build([2.5])
+        right.merge(build([0.5, 1.5]))
+        assert left.snapshot()["c"] == right.snapshot()["c"]
+        assert (
+            left.snapshot()["h"][""]["buckets"]
+            == right.snapshot()["h"][""]["buckets"]
+        )
+
+
+class TestExporters:
+    def _populated_tracer(self):
+        tracer = SpanTracer()
+        tracer.enable(keep_events=True, sim_timeline=True)
+        tracer._epoch = 0.0  # synthetic timestamps below are absolute
+        span = tracer.span("emission")
+        tracer._push(span)
+        span.start = 0.0
+        tracer._pop(span, 0.25)
+        span = tracer.span("schedule")
+        tracer._push(span)
+        span.start = 0.25
+        span.add_cycles(1000.0)
+        tracer._pop(span, 0.5)
+        tracer.record_schedule_threads(
+            "Talk/DAH", [0, 1], [0.0, 0.0], [5.0, 7.0], ["update", "update"]
+        )
+        return tracer
+
+    def test_chrome_trace_shape(self):
+        events = chrome_trace_events(self._populated_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        timed = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta if e["name"] == "process_name"} \
+            == {"wall clock", "sim Talk/DAH"}
+        # Metadata first, timed events ts-monotonic after.
+        assert events[: len(meta)] == meta
+        ts = [e["ts"] for e in timed]
+        assert ts == sorted(ts)
+        schedule = next(e for e in timed if e["name"] == "schedule")
+        assert schedule["args"]["sim_cycles"] == 1000.0
+        sim = [e for e in timed if e["pid"] >= 1000]
+        assert {e["tid"] for e in sim} == {0, 1}
+        assert all(e["cat"] == "sim" for e in sim)
+
+    def test_chrome_trace_is_valid_deterministic_json(self):
+        first = json.dumps(chrome_trace_events(self._populated_tracer()))
+        second = json.dumps(chrome_trace_events(self._populated_tracer()))
+        assert first == second
+        assert json.loads(first)  # round-trips
+
+    def test_prometheus_golden(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter", structure="DAH").inc(3)
+        registry.gauge("g", "a gauge").set(1.5)
+        registry.histogram("h_seconds", "a histogram", buckets=(0.1, 1.0)) \
+            .observe(0.05)
+        text = prometheus_text(registry)
+        assert text == (
+            "# HELP c_total a counter\n"
+            "# TYPE c_total counter\n"
+            'c_total{structure="DAH"} 3\n'
+            "# HELP g a gauge\n"
+            "# TYPE g gauge\n"
+            "g 1.5\n"
+            "# HELP h_seconds a histogram\n"
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="0.1"} 1\n'
+            'h_seconds_bucket{le="1.0"} 1\n'
+            'h_seconds_bucket{le="+Inf"} 1\n'
+            "h_seconds_sum 0.05\n"
+            "h_seconds_count 1\n"
+        )
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c", label='quo"te\nline').inc()
+        text = prometheus_text(registry)
+        assert '\\"' in text and "\\n" in text
+
+
+class TestPhaseTimerShim:
+    def test_report_format_survives(self):
+        timer = PhaseTimer()
+        timer.enable()
+        timer.add("compute", 3.0)
+        timer.add("emission", 1.0)
+        report = timer.report()
+        lines = report.splitlines()
+        assert lines[0] == "[profile] per-phase wall time"
+        assert "compute" in lines[1] and "75.0%" in lines[1]
+        assert "(1 calls)" in lines[1]
+        assert lines[-1].split() == ["total", "4.000s"]
+
+    def test_empty_report(self):
+        assert "no instrumented phases" in PhaseTimer().report()
+
+    def test_nested_phases_self_time(self):
+        timer = PhaseTimer()
+        timer.enable()
+        tracer = timer.tracer
+        outer = tracer.span("a")
+        tracer._push(outer)
+        outer.start = 0.0
+        inner = tracer.span("b")
+        tracer._push(inner)
+        inner.start = 1.0
+        tracer._pop(inner, 3.0)
+        tracer._pop(outer, 4.0)
+        assert timer.totals()["a"] == (pytest.approx(2.0), 1)
+        assert timer.totals()["b"] == (pytest.approx(2.0), 1)
+
+    def test_global_profiler_bound_to_global_tracer(self):
+        from repro.sim.profiling import PROFILER
+
+        assert PROFILER.tracer is TRACER
+
+
+class TestInstrumentedRun:
+    CONFIG = dict(batch_size=1000, structures=("AS", "DAH"),
+                  algorithms=("PR",), models=("FS", "INC"))
+
+    def test_sim_timeline_capture_does_not_change_results(self):
+        dataset = load_dataset("Talk", size_factor=0.1)
+        baseline = StreamDriver(StreamConfig(**self.CONFIG)).run(dataset)
+        TRACER.enable(keep_events=True, sim_timeline=True)
+        METRICS.enable()
+        observed = StreamDriver(StreamConfig(**self.CONFIG)).run(dataset)
+        base_meta, base_arrays = baseline.to_payload()
+        obs_meta, obs_arrays = observed.to_payload()
+        assert base_meta == obs_meta
+        for key in base_arrays:
+            assert np.array_equal(base_arrays[key], obs_arrays[key]), key
+        tracks = TRACER.sim_tracks()
+        assert set(tracks) == {"Talk/AS", "Talk/DAH"}
+        for rows in tracks.values():
+            assert rows  # at least one scheduled slice per structure
+            for _, label, start, dur in rows:
+                assert label == "update" and start >= 0.0 and dur >= 0.0
+
+    def test_batches_abut_on_the_sim_track(self):
+        dataset = load_dataset("Talk", size_factor=0.1)
+        TRACER.enable(sim_timeline=True)
+        StreamDriver(StreamConfig(**self.CONFIG)).run(dataset)
+        rows = TRACER.sim_tracks()["Talk/DAH"]
+        # Slices from batch 2 start at (or after) batch 1's makespan,
+        # never before: the per-track clock only moves forward.
+        starts = [start for _, _, start, _ in rows]
+        assert min(starts) == 0.0
+        assert max(starts) > 0.0
+
+    def test_metrics_counters_recorded(self):
+        dataset = load_dataset("Talk", size_factor=0.1)
+        METRICS.enable()
+        StreamDriver(StreamConfig(**self.CONFIG)).run(dataset)
+        snapshot = METRICS.snapshot()
+        assert METRICS.value("stream_batches_total", dataset="Talk") > 0
+        assert METRICS.value("sim_tasks_emitted_total", structure="DAH") > 0
+        assert METRICS.value("sim_schedules_total", structure="AS") > 0
+        assert "stream_update_latency_seconds" in snapshot
+        assert "stream_compute_latency_seconds" in snapshot
+
+    def test_parallel_sweep_metrics_equal_serial(self, tmp_path):
+        config = StreamConfig(repetitions=2, **self.CONFIG)
+        METRICS.enable()
+        serial = run_stream("Talk", config, size_factor=0.1)
+        serial_snapshot = METRICS.snapshot()
+        METRICS.reset()
+        parallel = run_stream("Talk", config, size_factor=0.1, jobs=2)
+        parallel_snapshot = METRICS.snapshot()
+        serial_meta, serial_arrays = serial.to_payload()
+        parallel_meta, parallel_arrays = parallel.to_payload()
+        assert serial_meta == parallel_meta
+        for key in serial_arrays:
+            assert np.array_equal(serial_arrays[key], parallel_arrays[key])
+        assert set(serial_snapshot) == set(parallel_snapshot)
+        for name, family in serial_snapshot.items():
+            if name == "sweep_cell_seconds":
+                continue  # wall time necessarily differs between runs
+            for labels, value in family.items():
+                other = parallel_snapshot[name][labels]
+                if isinstance(value, dict):
+                    # Histogram: counts merge exactly; float sums may
+                    # differ in the last ulp (association order).
+                    assert value["count"] == other["count"]
+                    assert value["buckets"] == other["buckets"]
+                    assert math.isclose(
+                        value["sum"], other["sum"], rel_tol=1e-12
+                    )
+                else:
+                    assert value == other, (name, labels)
+
+
+class TestCli:
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        events = tmp_path / "e.jsonl"
+        assert main([
+            "stream", "--dataset", "Talk", "--quick",
+            "--trace-out", str(trace),
+            "--metrics-out", str(prom),
+            "--events-out", str(events),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[sweep]" in out
+        payload = json.loads(trace.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert phases <= {"M", "X", "i"}
+        assert any(e["pid"] >= 1000 for e in payload["traceEvents"])
+        text = prom.read_text()
+        assert "stream_update_latency_seconds_bucket" in text
+        assert "# TYPE stream_batches_total counter" in text
+        for line in events.read_text().splitlines():
+            json.loads(line)
+        # The CLI turns the globals back off on exit.
+        assert not TRACER.enabled and not METRICS.enabled
+
+    def test_quick_flag_scales_down(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["stream", "--quick"])
+        assert args.quick and args.size_factor == 1.0
+
+    def test_validate_obs_script(self, tmp_path):
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        assert main([
+            "stream", "--dataset", "Talk", "--quick",
+            "--trace-out", str(trace), "--metrics-out", str(prom),
+        ]) == 0
+        script = Path(__file__).parent.parent / "scripts" / "validate_obs.py"
+        result = subprocess.run(
+            [_sys.executable, str(script), str(trace), str(prom)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 0, result.stderr
