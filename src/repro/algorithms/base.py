@@ -19,7 +19,9 @@ from typing import Callable, Iterable, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.compute import kernels
 from repro.compute.incremental import DEFAULT_EPSILON, run_incremental
+from repro.compute.kernels import use_legacy_compute
 from repro.compute.state import AlgorithmState
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.errors import SimulationError
@@ -66,6 +68,20 @@ class Algorithm(abc.ABC):
     def recalculate(self, v: int, view, values: np.ndarray) -> float:
         """The pull-style vertex function of Table I."""
 
+    #: Vectorized vertex function: ``recalculate_batch(frontier, cv,
+    #: values, rows=None)`` returns the new values of every frontier
+    #: vertex from a :class:`~repro.compute.kernels.ComputeView`.
+    #: ``rows`` optionally carries the pre-expanded in-adjacency
+    #: ``(seg, nbr, wt)`` of the frontier.  Must be bit-identical to
+    #: per-vertex ``recalculate``.  ``None`` keeps the algorithm on the
+    #: legacy engine (third-party algorithms need not implement it).
+    recalculate_batch = None
+
+    #: Vectorized derivation test for deletion invalidation:
+    #: ``supports_batch(src_values, weights, dst_values)`` returns a
+    #: boolean array.  ``None`` keeps deletions on the legacy path.
+    supports_batch = None
+
     # -- runs -----------------------------------------------------------
 
     @abc.abstractmethod
@@ -75,7 +91,11 @@ class Algorithm(abc.ABC):
         ``in_edges`` optionally supplies pre-extracted ``(src, dst,
         weight)`` arrays of the view's in-edges; the synchronous
         algorithms use them to skip re-extraction (the streaming driver
-        maintains them incrementally).
+        maintains them incrementally).  Built-in implementations also
+        accept ``compute_view`` (a prebuilt columnar view for the
+        frontier kernels); the driver shares one per batch through
+        :func:`repro.compute.kernels.view_scope` instead of passing it,
+        so third-party overrides need not add the parameter.
         """
 
     def inc_run(
@@ -84,13 +104,33 @@ class Algorithm(abc.ABC):
         state: AlgorithmState,
         affected: Iterable[int],
         source: Optional[int] = None,
+        compute_view=None,
     ) -> ComputeRun:
-        """Incremental run (Algorithm 1) updating ``state`` in place."""
+        """Incremental run (Algorithm 1) updating ``state`` in place.
+
+        Runs the vectorized frontier engine when the algorithm supplies
+        ``recalculate_batch`` (all six built-ins do), unless
+        ``SAGA_BENCH_LEGACY_COMPUTE=1`` selects the per-vertex loop.
+        ``compute_view`` optionally supplies a prebuilt columnar view;
+        otherwise the driver-scoped view or a fresh export is used.
+        """
         state.ensure_initialized(view.num_nodes)
         if self.needs_source:
             if source is None:
                 raise SimulationError(f"{self.name} requires a source vertex")
             state.values[source] = self.source_value()
+
+        if self.recalculate_batch is not None and not use_legacy_compute():
+            run = kernels.run_incremental_frontier(
+                view,
+                state.values,
+                affected,
+                self,
+                source=source,
+                compute_view=compute_view,
+            )
+            run.source = source
+            return run
 
         def recalc(v: int) -> float:
             if self.needs_source and v == source:
@@ -130,6 +170,7 @@ class Algorithm(abc.ABC):
         state: AlgorithmState,
         deleted_edges,
         source: Optional[int] = None,
+        compute_view=None,
     ) -> ComputeRun:
         """Incremental recomputation after a deletion batch (sound).
 
@@ -152,6 +193,46 @@ class Algorithm(abc.ABC):
         edges = list(deleted_edges)
         if not getattr(view, "directed", True):
             edges = edges + [(v, u, w) for u, v, w in edges if u != v]
+        use_kernel = (
+            not use_legacy_compute()
+            and self.recalculate_batch is not None
+            and (self.monotonic is None or self.supports_batch is not None)
+        )
+        if use_kernel:
+            count = len(edges)
+            src = np.fromiter((e[0] for e in edges), dtype=np.int64, count=count)
+            dst = np.fromiter((e[1] for e in edges), dtype=np.int64, count=count)
+            weight = np.fromiter((e[2] for e in edges), dtype=np.float64, count=count)
+            endpoints = np.unique(np.concatenate([src, dst]))
+            if self.monotonic is None:
+                return self.inc_run(
+                    view, state, endpoints, source=source, compute_view=compute_view
+                )
+            pinned = ()
+            if self.needs_source:
+                if source is None:
+                    raise SimulationError(f"{self.name} requires a source vertex")
+                state.values[source] = self.source_value()
+                pinned = (source,)
+            cv = kernels.resolve_view(view, compute_view)
+            tainted = kernels.invalidate_frontier(
+                view,
+                state.values,
+                src,
+                dst,
+                weight,
+                self.supports_batch,
+                state.init_fn,
+                pinned=pinned,
+                compute_view=cv,
+            )
+            return self.inc_run(
+                view,
+                state,
+                np.union1d(tainted, endpoints),
+                source=source,
+                compute_view=cv,
+            )
         endpoints = {v for _, v, _ in edges} | {u for u, _, _ in edges}
         if self.monotonic is None:
             return self.inc_run(view, state, endpoints, source=source)
@@ -226,13 +307,22 @@ def out_targets(view, v: int):
 # ----------------------------------------------------------------------
 
 
-def extract_in_edges(view) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+def extract_in_edges(view, compute_view=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """All edges as (src, dst, weight) arrays, grouped by destination.
 
     Used by the vectorized synchronous engine; the arrays describe the
     in-edges of every vertex (for undirected views, both orientations
-    appear, matching ``in_neigh``).
+    appear, matching ``in_neigh``).  When a :class:`ComputeView` is
+    supplied or in scope (and the legacy path is off), the arrays come
+    from its in-CSR -- the same grouped-by-destination order the
+    per-vertex loop produces, without the per-vertex loop.
     """
+    if not use_legacy_compute():
+        cv = compute_view if compute_view is not None else kernels.scoped_view(view)
+        if cv is not None:
+            csr = cv.in_csr
+            dst = np.repeat(np.arange(cv.num_nodes, dtype=np.int64), csr.degrees)
+            return csr.indices, dst, csr.weights
     srcs, dsts, weights = [], [], []
     for v in range(view.num_nodes):
         for u, w in view.in_neigh(v):
@@ -254,6 +344,7 @@ def synchronous_fixpoint(
     epsilon: float = 0.0,
     max_iterations: int = 1000,
     in_edges=None,
+    compute_view=None,
 ) -> ComputeRun:
     """Jacobi iteration of a pull-style vertex function over all vertices.
 
@@ -266,7 +357,11 @@ def synchronous_fixpoint(
     run.linear_scans = 1  # the from-scratch reset
     if n == 0:
         return run
-    src, dst, weight = in_edges if in_edges is not None else extract_in_edges(view)
+    src, dst, weight = (
+        in_edges
+        if in_edges is not None
+        else extract_in_edges(view, compute_view)
+    )
     everyone = np.arange(n, dtype=np.int64)
     for _ in range(max_iterations):
         new_values = combine(values, src, dst, weight)
@@ -289,12 +384,29 @@ def frontier_relaxation(
     relax: Callable[[float, float], float],
     better: Callable[[float, float], bool],
     algorithm: str,
+    optimize: str = "min",
+    compute_view=None,
 ) -> ComputeRun:
     """Round-based push-style relaxation from ``source`` (BFS, SSWP).
 
     Each round scans the out-edges of the active frontier; a neighbor
-    whose tentative value improves joins the next frontier.
+    whose tentative value improves joins the next frontier.  ``relax``
+    and ``better`` must accept numpy arrays as well as scalars: the
+    default engine is the vectorized relaxation kernel (``optimize``
+    names the scatter direction, "min" or "max"), with the per-edge
+    loop below behind ``SAGA_BENCH_LEGACY_COMPUTE=1``.
     """
+    if not use_legacy_compute():
+        return kernels.frontier_relaxation_kernel(
+            view,
+            values,
+            source,
+            relax,
+            better,
+            optimize,
+            algorithm,
+            compute_view=compute_view,
+        )
     run = ComputeRun(algorithm=algorithm, model="FS", values=values, source=source)
     run.linear_scans = 1
     if source >= view.num_nodes:

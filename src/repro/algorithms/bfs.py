@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, frontier_relaxation, in_sources
+from repro.compute import kernels
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.errors import SimulationError
 
@@ -39,6 +40,9 @@ class BFS(Algorithm):
     def supports(self, source_value, weight, target_value):
         return target_value == source_value + 1.0
 
+    def supports_batch(self, source_values, weights, target_values):
+        return target_values == source_values + 1.0
+
     def __init__(self, direction_optimizing: bool = False) -> None:
         self.direction_optimizing = direction_optimizing
 
@@ -56,7 +60,16 @@ class BFS(Algorithm):
                 best = depth
         return best
 
-    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+    def recalculate_batch(self, frontier, cv, values, rows=None):
+        seg, nbr, _ = rows if rows is not None else kernels.expand_frontier(
+            cv.in_csr, frontier
+        )
+        counts = np.bincount(seg, minlength=len(frontier))
+        return kernels.segment_min(values[nbr] + 1.0, counts, np.inf)
+
+    def fs_run(
+        self, view, source: Optional[int] = None, in_edges=None, compute_view=None
+    ) -> ComputeRun:
         if source is None:
             raise SimulationError("BFS requires a source vertex")
         if self.direction_optimizing:
@@ -71,6 +84,8 @@ class BFS(Algorithm):
             relax=lambda base, wt: base + 1.0,
             better=lambda candidate, current: candidate < current,
             algorithm=self.name,
+            optimize="min",
+            compute_view=compute_view,
         )
 
     def _fs_direction_optimizing(self, view, source: int) -> ComputeRun:

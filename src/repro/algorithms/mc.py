@@ -17,6 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, in_sources, synchronous_fixpoint
+from repro.compute import kernels
 from repro.compute.stats import ComputeRun
 
 
@@ -36,6 +37,9 @@ class MaxComputation(Algorithm):
     def supports(self, source_value, weight, target_value):
         return target_value == source_value
 
+    def supports_batch(self, source_values, weights, target_values):
+        return target_values == source_values
+
     def init_value(self, ids: np.ndarray) -> np.ndarray:
         return ids.astype(np.float64)
 
@@ -46,8 +50,25 @@ class MaxComputation(Algorithm):
                 best = values[u]
         return best
 
-    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+    def recalculate_batch(self, frontier, cv, values, rows=None):
+        seg, nbr, _ = rows if rows is not None else kernels.expand_frontier(
+            cv.in_csr, frontier
+        )
+        counts = np.bincount(seg, minlength=len(frontier))
+        return np.maximum(
+            values[frontier], kernels.segment_max(values[nbr], counts, -np.inf)
+        )
+
+    def fs_run(
+        self, view, source: Optional[int] = None, in_edges=None, compute_view=None
+    ) -> ComputeRun:
         values = np.arange(max(view.num_nodes, 1), dtype=np.float64)
         return synchronous_fixpoint(
-            view, values, _combine_max, algorithm=self.name, epsilon=0.0, in_edges=in_edges
+            view,
+            values,
+            _combine_max,
+            algorithm=self.name,
+            epsilon=0.0,
+            in_edges=in_edges,
+            compute_view=compute_view,
         )

@@ -23,6 +23,7 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, in_sources, out_targets, synchronous_fixpoint
+from repro.compute import kernels
 from repro.compute.state import AlgorithmState
 from repro.compute.stats import ComputeRun
 from repro.graph.edge import EdgeBatch
@@ -53,26 +54,50 @@ class PageRank(Algorithm):
             total += values[u] / out_degree(u)
         return (1.0 - DAMPING) / max(view.num_nodes, 1) + DAMPING * total
 
+    def recalculate_batch(self, frontier, cv, values, rows=None):
+        seg, nbr, _ = rows if rows is not None else kernels.expand_frontier(
+            cv.in_csr, frontier
+        )
+        # bincount accumulates in row (= in-neighbor) order: the same
+        # float bits as the scalar function's sequential sum.
+        totals = kernels.segment_sum_ordered(
+            values[nbr] / cv.out_degree[nbr], seg, len(frontier)
+        )
+        return (1.0 - DAMPING) / max(cv.num_nodes, 1) + DAMPING * totals
+
     def inc_run(
         self,
         view,
         state: AlgorithmState,
         affected: Iterable[int],
         source: Optional[int] = None,
+        compute_view=None,
     ) -> ComputeRun:
         # New vertices start at 1/|V| of the *current* graph
         # (Algorithm 1 line 4).
         n = max(view.num_nodes, 1)
         state.init_fn = lambda ids: np.full(len(ids), 1.0 / n)
-        return super().inc_run(view, state, affected, source=source)
+        return super().inc_run(
+            view, state, affected, source=source, compute_view=compute_view
+        )
 
     def affected_from_batch(self, batch: EdgeBatch, view) -> set:
         """PR's affected set additionally covers rank renormalization.
 
         Inserting ``(u, v)`` changes v's in-edges *and* u's out-degree;
         the latter perturbs the term ``rank(u)/out_degree(u)`` seen by
-        every existing out-neighbor of u.
+        every existing out-neighbor of u.  With a columnar view in
+        scope the out-neighbor sweep runs over the out-CSR instead of
+        per-vertex Python iteration (same set either way; the engine
+        uniques it).
         """
+        cv = kernels.scoped_view(view) if not kernels.use_legacy_compute() else None
+        if cv is not None:
+            src = np.asarray(batch.src, dtype=np.int64)
+            dst = np.asarray(batch.dst, dtype=np.int64)
+            sources = np.unique(src)
+            _, fanout, _ = kernels.expand_frontier(cv.out_csr, sources)
+            return np.unique(np.concatenate([src, dst, fanout]))
         affected = set()
         for i in range(len(batch)):
             u = int(batch.src[i])
@@ -82,13 +107,23 @@ class PageRank(Algorithm):
             affected.update(out_targets(view, u))
         return affected
 
-    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+    def fs_run(
+        self, view, source: Optional[int] = None, in_edges=None, compute_view=None
+    ) -> ComputeRun:
         n = max(view.num_nodes, 1)
         values = np.full(n, 1.0 / n)
-        out_degree = np.asarray(
-            [max(view.out_degree(v), 1) for v in range(view.num_nodes)] or [1],
-            dtype=np.float64,
-        )
+        cv = compute_view
+        if cv is None and not kernels.use_legacy_compute():
+            cv = kernels.scoped_view(view)
+        if cv is not None and view.num_nodes:
+            # Small integers convert to float64 exactly: same divisors
+            # as the per-vertex loop below, without the loop.
+            out_degree = np.maximum(cv.out_degree, 1).astype(np.float64)
+        else:
+            out_degree = np.asarray(
+                [max(view.out_degree(v), 1) for v in range(view.num_nodes)] or [1],
+                dtype=np.float64,
+            )
         base = (1.0 - DAMPING) / n
 
         def combine(current, src, dst, weight):
@@ -105,4 +140,5 @@ class PageRank(Algorithm):
             epsilon=PR_EPSILON,
             max_iterations=200,
             in_edges=in_edges,
+            compute_view=cv,
         )

@@ -12,13 +12,15 @@ bucket.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.algorithms.base import Algorithm, in_pairs
+from repro.compute import kernels
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.errors import SimulationError
+from repro.obs.tracer import TRACER
 
 
 class SSSP(Algorithm):
@@ -40,6 +42,9 @@ class SSSP(Algorithm):
     def supports(self, source_value, weight, target_value):
         return target_value == source_value + weight
 
+    def supports_batch(self, source_values, weights, target_values):
+        return target_values == source_values + weights
+
     def __init__(self, delta: Optional[float] = None, use_dijkstra: bool = False) -> None:
         self.delta = delta
         self.use_dijkstra = use_dijkstra
@@ -58,10 +63,24 @@ class SSSP(Algorithm):
                 best = candidate
         return best
 
-    def _pick_delta(self, view) -> float:
+    def recalculate_batch(self, frontier, cv, values, rows=None):
+        seg, nbr, wts = rows if rows is not None else kernels.expand_frontier(
+            cv.in_csr, frontier
+        )
+        counts = np.bincount(seg, minlength=len(frontier))
+        return kernels.segment_min(values[nbr] + wts, counts, np.inf)
+
+    def _pick_delta(self, view, cv=None) -> float:
         if self.delta is not None:
             return self.delta
         # Mean edge weight is a standard default for delta-stepping.
+        if cv is not None:
+            weights = cv.out_csr.weights
+            count = int(weights.size)
+            # Sequential cumsum keeps the scalar loop's accumulation
+            # order (np.sum is pairwise and rounds differently).
+            total = float(np.cumsum(weights)[-1]) if count else 0.0
+            return max(total / count, 1e-9) if count else 1.0
         total, count = 0.0, 0
         for v in range(view.num_nodes):
             for _, w in view.out_neigh(v):
@@ -69,11 +88,15 @@ class SSSP(Algorithm):
                 count += 1
         return max(total / count, 1e-9) if count else 1.0
 
-    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+    def fs_run(
+        self, view, source: Optional[int] = None, in_edges=None, compute_view=None
+    ) -> ComputeRun:
         if source is None:
             raise SimulationError("SSSP requires a source vertex")
         if self.use_dijkstra:
             return self._fs_dijkstra(view, source)
+        if not kernels.use_legacy_compute():
+            return self._fs_delta_kernel(view, source, compute_view)
         n = max(view.num_nodes, 1)
         values = np.full(n, np.inf)
         run = ComputeRun(algorithm=self.name, model="FS", values=values, source=source)
@@ -132,6 +155,100 @@ class SSSP(Algorithm):
             run.iterations.append(
                 IterationStats.make(push=settled, pushes=pushes, cas_ops=pushes)
             )
+        return run
+
+    def _fs_delta_kernel(self, view, source: int, compute_view=None) -> ComputeRun:
+        """Delta-stepping over the columnar view, pass-at-a-time.
+
+        Each light/heavy pass becomes one :func:`kernels.relax_pass`
+        (prefix waves reproduce the sequential bases) plus one
+        :func:`kernels.relaxation_events` scan that recovers exactly the
+        successful compare-and-updates the scalar loop would have
+        performed -- so pushes, bucket membership, and float bits all
+        match the legacy path.
+        """
+        cv = kernels.resolve_view(view, compute_view)
+        n = max(cv.num_nodes, 1)
+        values = np.full(n, np.inf)
+        run = ComputeRun(algorithm=self.name, model="FS", values=values, source=source)
+        run.linear_scans = 1
+        if source >= cv.num_nodes:
+            return run
+        values[source] = 0.0
+        delta = self._pick_delta(view, cv)
+
+        def relax(base: np.ndarray, wts: np.ndarray) -> np.ndarray:
+            return base + wts
+
+        # Buckets hold unmerged member fragments; dedup happens at pop
+        # time (the legacy sets dedup on insert -- same members).
+        buckets: Dict[int, List[np.ndarray]] = {
+            0: [np.array([source], dtype=np.int64)]
+        }
+        with TRACER.span(
+            "compute.kernel", args={"algorithm": self.name, "model": "FS"}
+        ):
+            while buckets:
+                i = min(buckets)
+                members = np.unique(np.concatenate(buckets.pop(i)))
+                settled_parts: List[np.ndarray] = []
+                # Light-edge phase: iterate within the bucket.
+                while True:
+                    if members.size:
+                        keys = np.floor_divide(values[members], delta).astype(np.int64)
+                        frontier = members[keys == i]
+                    else:
+                        frontier = members
+                    if frontier.size == 0:
+                        break
+                    settled_parts.append(frontier)
+                    kernels._observe_frontier(self.name, "FS", frontier.size)
+                    cand, tgt, x0 = kernels.relax_pass(
+                        cv, values, frontier, relax, "min",
+                        edge_mask=lambda w: w <= delta,
+                    )
+                    events = kernels.relaxation_events(cand, tgt, x0, minimize=True)
+                    run.iterations.append(
+                        IterationStats.make(
+                            push=frontier,
+                            pushes=int(events.size),
+                            cas_ops=int(events.size),
+                        )
+                    )
+                    if events.size:
+                        ev_t = tgt[events]
+                        js = np.floor_divide(cand[events], delta).astype(np.int64)
+                        same = js == i
+                        members = np.unique(ev_t[same])
+                        other = np.nonzero(~same)[0]
+                        for j in np.unique(js[other]):
+                            buckets.setdefault(int(j), []).append(
+                                ev_t[other[js[other] == j]]
+                            )
+                    else:
+                        members = np.empty(0, dtype=np.int64)
+                if not settled_parts:
+                    continue
+                # Heavy-edge phase: one relaxation pass over the bucket.
+                settled = np.concatenate(settled_parts)
+                kernels._observe_frontier(self.name, "FS", settled.size)
+                cand, tgt, x0 = kernels.relax_pass(
+                    cv, values, settled, relax, "min",
+                    edge_mask=lambda w: w > delta,
+                )
+                events = kernels.relaxation_events(cand, tgt, x0, minimize=True)
+                run.iterations.append(
+                    IterationStats.make(
+                        push=settled,
+                        pushes=int(events.size),
+                        cas_ops=int(events.size),
+                    )
+                )
+                if events.size:
+                    ev_t = tgt[events]
+                    js = np.floor_divide(cand[events], delta).astype(np.int64)
+                    for j in np.unique(js):
+                        buckets.setdefault(int(j), []).append(ev_t[js == j])
         return run
 
     def _fs_dijkstra(self, view, source: int) -> ComputeRun:

@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, frontier_relaxation, in_pairs
+from repro.compute import kernels
 from repro.compute.stats import ComputeRun
 from repro.errors import SimulationError
 
@@ -33,6 +34,9 @@ class SSWP(Algorithm):
     def supports(self, source_value, weight, target_value):
         return target_value == min(source_value, weight)
 
+    def supports_batch(self, source_values, weights, target_values):
+        return target_values == np.minimum(source_values, weights)
+
     def init_value(self, ids: np.ndarray) -> np.ndarray:
         return np.zeros(len(ids))
 
@@ -47,7 +51,20 @@ class SSWP(Algorithm):
                 best = width
         return best
 
-    def fs_run(self, view, source: Optional[int] = None, in_edges=None) -> ComputeRun:
+    def recalculate_batch(self, frontier, cv, values, rows=None):
+        seg, nbr, wts = rows if rows is not None else kernels.expand_frontier(
+            cv.in_csr, frontier
+        )
+        counts = np.bincount(seg, minlength=len(frontier))
+        widths = np.minimum(values[nbr], wts)
+        # The scalar function starts its max at 0.0 (unreached), so the
+        # -inf identity of empty segments folds back to 0.0 and widths
+        # never go below the start (weights are positive).
+        return np.maximum(kernels.segment_max(widths, counts, -np.inf), 0.0)
+
+    def fs_run(
+        self, view, source: Optional[int] = None, in_edges=None, compute_view=None
+    ) -> ComputeRun:
         if source is None:
             raise SimulationError("SSWP requires a source vertex")
         values = np.zeros(max(view.num_nodes, 1))
@@ -57,7 +74,9 @@ class SSWP(Algorithm):
             view,
             values,
             source,
-            relax=lambda base, wt: min(base, wt),
+            relax=np.minimum,
             better=lambda candidate, current: candidate > current,
             algorithm=self.name,
+            optimize="max",
+            compute_view=compute_view,
         )

@@ -13,9 +13,20 @@ Two models run an algorithm over the freshly updated graph:
 
 :mod:`repro.compute.pricing` converts the operation counts of a run
 into per-data-structure compute latencies on the simulated machine.
+
+:mod:`repro.compute.kernels` holds the vectorized compute path: one
+columnar :class:`~repro.compute.kernels.ComputeView` per batch plus
+frontier-at-a-time kernels for both models, bit-identical to the
+per-vertex engines (``SAGA_BENCH_LEGACY_COMPUTE=1`` restores those).
 """
 
 from repro.compute.incremental import run_incremental
+from repro.compute.kernels import (
+    LEGACY_COMPUTE_ENV,
+    ComputeView,
+    use_legacy_compute,
+    view_scope,
+)
 from repro.compute.pricing import ComputePricing, price_compute_run
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.compute.state import AlgorithmState
@@ -24,7 +35,11 @@ __all__ = [
     "AlgorithmState",
     "ComputePricing",
     "ComputeRun",
+    "ComputeView",
     "IterationStats",
+    "LEGACY_COMPUTE_ENV",
     "price_compute_run",
     "run_incremental",
+    "use_legacy_compute",
+    "view_scope",
 ]

@@ -127,9 +127,17 @@ def run_incremental(
     # initializing new vertices, once testing the affected flags.
     run.linear_scans = 2
 
-    current = sorted({v for v in affected if v < num_nodes})
+    # Deterministic round order: a unique ascending numpy frontier.
+    # (The old sorted-set rebuild gave the same order but went through
+    # Python set semantics; np.unique pins the contract explicitly and
+    # keeps the array form the vectorized engine shares.)
+    if isinstance(affected, np.ndarray):
+        seed = affected.astype(np.int64, copy=False)
+    else:
+        seed = np.fromiter(affected, dtype=np.int64)
+    current = np.unique(seed[seed < num_nodes])
     rounds = 0
-    while current:
+    while current.size:
         rounds += 1
         if rounds > max_rounds:
             raise SimulationError(
@@ -141,7 +149,9 @@ def run_incremental(
         triggered = []
         pushes = 0
         cas_ops = 0
-        for v in current:
+        # tolist() hands the loop plain Python ints: view methods (and
+        # DAH's hash function in particular) expect native integers.
+        for v in current.tolist():
             # Plain floats: inf - inf is a quiet NaN (an unreached
             # vertex staying unreached is not a change).
             old = float(values[v])
@@ -163,5 +173,7 @@ def run_incremental(
                 pull=current, push=triggered, pushes=pushes, cas_ops=cas_ops
             )
         )
-        current = sorted(next_queue)
+        # The visited bitvector already deduplicated next_queue, so the
+        # stable unique only sorts ascending -- the legacy round order.
+        current = np.unique(np.asarray(next_queue, dtype=np.int64))
     return run

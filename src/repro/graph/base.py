@@ -465,6 +465,22 @@ class GraphDataStructure(abc.ABC):
         """All vertex ids from 0 to the largest seen."""
         return range(self.num_nodes)
 
+    def csr_arrays(self, direction: str = "out"):
+        """Columnar CSR snapshot of one adjacency direction.
+
+        Neighbor order within each vertex matches :meth:`out_neigh` /
+        :meth:`in_neigh` iteration order, so vectorized compute kernels
+        reproduce the per-vertex loops bit-for-bit (see
+        :mod:`repro.compute.kernels`).  Structures with columnar
+        internals may override this with a zero-copy export.
+        """
+        # Imported lazily: repro.compute.pricing imports repro.graph.
+        from repro.compute.kernels import csr_from_rows
+
+        n = self.num_nodes
+        neigh = self.out_neigh if direction == "out" else self.in_neigh
+        return csr_from_rows((neigh(u) for u in range(n)), n)
+
     # ------------------------------------------------------------------
     # Analytic compute-phase costs
     # ------------------------------------------------------------------

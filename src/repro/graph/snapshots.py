@@ -92,6 +92,30 @@ class SnapshotView:
     def vertices(self) -> range:
         return range(self.num_nodes)
 
+    def csr_arrays(self, direction: str = "out"):
+        """Columnar CSR of this snapshot's visible prefix per vertex.
+
+        Entries are appended in batch order, so slicing each vertex's
+        arrays at the snapshot cutoff preserves the exact neighbor
+        order ``neighbors_at`` iterates.
+        """
+        # Imported lazily: repro.compute.pricing imports repro.graph.
+        from repro.compute.kernels import csr_from_rows
+
+        adj = self._store._out if direction == "out" else self._store._in
+        n = self.num_nodes
+        snapshot = self.snapshot
+        return csr_from_rows(
+            (
+                zip(
+                    adj._neighbors[u][: adj.cutoff(u, snapshot)],
+                    adj._weights[u][: adj.cutoff(u, snapshot)],
+                )
+                for u in range(n)
+            ),
+            n,
+        )
+
 
 class SnapshotStore:
     """Append-only multi-snapshot graph store.

@@ -24,6 +24,7 @@ from typing import Callable, Dict, Optional, Tuple
 import numpy as np
 
 from repro.algorithms.registry import ALGORITHMS, COMPUTE_MODELS, get_algorithm
+from repro.compute import kernels
 from repro.compute.pricing import price_compute_run
 from repro.datasets.catalog import DEFAULT_BATCH_SIZE, Dataset
 from repro.errors import ConfigError
@@ -370,9 +371,18 @@ class StreamDriver:
             record.num_nodes = n
             record.num_edges = reference.num_edges
             in_edges = incidence.view()
+            compute_view = None
+            if n and not kernels.use_legacy_compute():
+                # One columnar CSR build per batch, shared by every
+                # algorithm x model run through the view scope (so
+                # third-party fs_run signatures stay untouched).
+                with TRACER.span("compute.view"):
+                    compute_view = kernels.ComputeView.from_edges(*in_edges, n)
 
             # ---- Compute phase: each algorithm under each model ----
-            with TRACER.span("compute") as compute_span:
+            with TRACER.span("compute") as compute_span, kernels.view_scope(
+                reference, compute_view
+            ):
                 for alg_name in cfg.algorithms:
                     algorithm = get_algorithm(alg_name)
                     for model in cfg.models:
