@@ -1,0 +1,181 @@
+"""Scale benchmark: stream a multi-million-edge RMAT graph out-of-core.
+
+Exercises the zero-copy data plane end to end at a size where the old
+in-RAM, object-at-a-time pipeline would thrash: the stream is generated
+chunk-by-chunk straight into memory-mapped column files (never held in
+RAM at once), batched lazily through :class:`BatchView`, and driven
+through the simulator.  Reports the wall-clock ingest rate and the
+simulated sustainable throughput, then writes both to
+``BENCH_scale.json``.
+
+Before timing, a prefix of the stream is replayed twice -- serially and
+partition-parallel (``shards=N`` over shared-memory transport) -- and
+the algorithm results are checked bit-identical, so the recorded
+numbers always come from a verified pipeline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_scale.py
+    PYTHONPATH=src python scripts/bench_scale.py --edges 1000000 --mmap-dir /tmp/rmat
+
+A developer/CI tool, not part of the library.  The CI job that runs it
+is non-gating: the numbers are recorded for trend inspection, not
+asserted against a threshold.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.datasets import make_rmat_dataset
+from repro.datasets.catalog import Dataset
+from repro.obs import METRICS
+from repro.streaming import StreamConfig, StreamDriver, make_driver
+
+#: The default workload: 5M edges over 2^20 vertices, one structure and
+#: one algorithm so the job fits quick-CI time while still pushing the
+#: data plane through ten 500K-edge batches.
+SCALE = 20
+EDGES = 5_000_000
+BATCH_SIZE = 500_000
+STRUCTURE = "AS"
+ALGORITHM = "PR"
+CHUNK_EDGES = 1_000_000
+VERIFY_EDGES = 200_000
+VERIFY_SHARDS = 4
+
+
+def verify_sharded_prefix(dataset, edges, shards, batch_size):
+    """Replay a stream prefix serially and sharded; require bit-identity.
+
+    The prefix is an in-RAM slice, so the sharded run exercises the
+    shared-memory transport (the mmap fast path only fires for whole
+    streams).  Algorithm results -- inserted edges and compute cycles --
+    must match exactly; update latencies differ by design (the sharded
+    update model adds the cross-partition merge cost).
+    """
+    prefix = Dataset(
+        spec=dataset.spec,
+        edges=dataset.edges.slice(0, edges),
+        max_nodes=dataset.max_nodes,
+        seed=dataset.seed,
+    )
+    config = dict(
+        batch_size=batch_size,
+        structures=(STRUCTURE,),
+        algorithms=(ALGORITHM,),
+        models=("INC",),
+        repetitions=1,
+    )
+    serial = StreamDriver(StreamConfig(**config)).run(prefix)
+    sharded = make_driver(StreamConfig(shards=shards, **config)).run(prefix)
+    for attr in ("edges_inserted", "num_edges", "compute_cycles"):
+        mine = getattr(serial, attr)
+        theirs = getattr(sharded, attr)
+        if not np.array_equal(mine, theirs):
+            raise SystemExit(
+                f"FAIL: sharded {attr} diverges from serial on the "
+                f"{edges}-edge prefix"
+            )
+    print(
+        f"verified: shards={shards} bit-identical to serial on "
+        f"{edges:,}-edge prefix ({serial.batches_per_rep} batches)"
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_scale.json",
+                        help="result file path")
+    parser.add_argument("--scale", type=int, default=SCALE)
+    parser.add_argument("--edges", type=int, default=EDGES)
+    parser.add_argument("--batch-size", type=int, default=BATCH_SIZE)
+    parser.add_argument("--chunk-edges", type=int, default=CHUNK_EDGES)
+    parser.add_argument(
+        "--mmap-dir",
+        default=None,
+        help="stream directory (default: a fresh temporary directory)",
+    )
+    parser.add_argument("--verify-edges", type=int, default=VERIFY_EDGES)
+    parser.add_argument("--verify-shards", type=int, default=VERIFY_SHARDS)
+    args = parser.parse_args(argv)
+
+    workdir = args.mmap_dir or tempfile.mkdtemp(prefix="bench_scale_")
+    METRICS.reset()
+    METRICS.enable()
+
+    started = time.perf_counter()
+    dataset = make_rmat_dataset(
+        scale=args.scale,
+        num_edges=args.edges,
+        mmap_dir=workdir,
+        chunk_edges=args.chunk_edges,
+    )
+    generate_seconds = time.perf_counter() - started
+    mapped_bytes = int(METRICS.value("stream_bytes_mapped"))
+    print(
+        f"{dataset.spec.name}: {args.edges:,} edges -> {workdir} "
+        f"({mapped_bytes / 1e6:.0f} MB mapped) in {generate_seconds:.1f}s"
+    )
+
+    verify_sharded_prefix(
+        dataset, args.verify_edges, args.verify_shards, args.batch_size // 4
+    )
+
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        structures=(STRUCTURE,),
+        algorithms=(ALGORITHM,),
+        models=("INC",),
+        repetitions=1,
+    )
+    started = time.perf_counter()
+    result = make_driver(config).run(dataset)
+    stream_seconds = time.perf_counter() - started
+    wall_rate = args.edges / stream_seconds if stream_seconds > 0 else 0.0
+    sustained = result.sustainable_throughput(ALGORITHM, "INC", STRUCTURE)
+    print(
+        f"{STRUCTURE}/{ALGORITHM} INC: {result.batches_per_rep} batches "
+        f"of {args.batch_size:,} in {stream_seconds:.1f}s wall"
+    )
+    print(f"wall ingest rate:          {wall_rate:,.0f} edges/s")
+    print(f"sustained simulated rate:  {sustained:,.0f} edges/s")
+
+    METRICS.disable()
+    payload = {
+        "workload": {
+            "scale": args.scale,
+            "edges": args.edges,
+            "batch_size": args.batch_size,
+            "chunk_edges": args.chunk_edges,
+            "structure": STRUCTURE,
+            "algorithm": ALGORITHM,
+            "model": "INC",
+        },
+        "python": platform.python_version(),
+        "generate_seconds": round(generate_seconds, 2),
+        "stream_bytes_mapped": mapped_bytes,
+        "stream_seconds": round(stream_seconds, 2),
+        "wall_edges_per_second": round(wall_rate),
+        "sustained_sim_edges_per_second": round(sustained),
+        "batches": int(result.batches_per_rep),
+        "verified": {
+            "prefix_edges": args.verify_edges,
+            "shards": args.verify_shards,
+            "bit_identical": True,
+        },
+    }
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

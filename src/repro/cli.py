@@ -5,6 +5,7 @@ Usage::
     python -m repro table1|table2|table3|table4|fig6|fig7|fig8|fig9|fig10
     python -m repro all --quick
     python -m repro stream --dataset Talk --structure DAH --algorithm PR
+    python -m repro scale --edges 5000000 --mmap-dir /tmp/rmat --shards 4
     python -m repro table3 --cache-dir ~/.cache/saga --jobs 4
 
 ``--quick`` runs the sweeps at reduced scale (minutes instead of tens
@@ -182,6 +183,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         structures=(args.structure,),
         algorithms=(args.algorithm,),
         models=("FS", "INC"),
+        shards=args.shards,
         progress=print if args.verbose else None,
     )
     result = run_stream(
@@ -201,6 +203,45 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     for index in range(result.batches_per_rep):
         print(f"{index:>5d} {update[index] * 1e3:>11.3f} "
               f"{inc[index] * 1e3:>9.3f} {fs[index] * 1e3:>9.3f}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    from repro.datasets import make_rmat_dataset
+    from repro.streaming import make_driver
+
+    started = time.time()
+    dataset = make_rmat_dataset(
+        scale=args.scale,
+        num_edges=args.edges,
+        seed=args.seed,
+        mmap_dir=args.mmap_dir,
+        chunk_edges=args.chunk_edges,
+    )
+    generated = time.time() - started
+    transport = f"mmap:{args.mmap_dir}" if args.mmap_dir else "RAM"
+    print(f"{dataset.spec.name}: {len(dataset.edges):,} edges "
+          f"({transport}) generated in {generated:.1f}s")
+
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        structures=(args.structure,),
+        algorithms=(args.algorithm,),
+        models=("INC",),
+        repetitions=1,
+        shards=args.shards,
+    )
+    started = time.time()
+    result = make_driver(config).run(dataset)
+    simulated = time.time() - started
+    throughput = result.sustainable_throughput(
+        args.algorithm, "INC", args.structure
+    )
+    rate = len(dataset.edges) / simulated if simulated > 0 else 0.0
+    print(f"{args.structure}/{args.algorithm} INC, shards={args.shards}: "
+          f"{result.batches_per_rep} batches of {args.batch_size:,} "
+          f"simulated in {simulated:.1f}s wall ({rate:,.0f} edges/s)")
+    print(f"sustained simulated ingest: {throughput:,.0f} edges/s")
     return 0
 
 
@@ -298,8 +339,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced-scale stream (size factor 0.1 unless --size-factor "
              "is given explicitly)",
     )
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="simulate the update phase over N vertex partitions "
+             "(partition-parallel; algorithm results stay bit-identical)",
+    )
     stream.add_argument("--verbose", action="store_true")
     _add_engine_args(stream)
+
+    scale = sub.add_parser(
+        "scale",
+        help="stream a large generated RMAT graph out-of-core and report "
+             "sustained edges/second",
+    )
+    scale.set_defaults(func=_cmd_scale)
+    scale.add_argument("--scale", type=int, default=20,
+                       help="RMAT scale (2^scale vertices)")
+    scale.add_argument("--edges", type=int, default=5_000_000,
+                       help="number of stream edges to generate")
+    scale.add_argument("--batch-size", type=int, default=500_000)
+    scale.add_argument("--structure", choices=("AS", "AC", "Stinger", "DAH", "BA"),
+                       default="AS")
+    scale.add_argument("--algorithm",
+                       choices=("BFS", "CC", "MC", "PR", "SSSP", "SSWP"),
+                       default="PR")
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="simulate the update phase over N vertex partitions",
+    )
+    scale.add_argument(
+        "--mmap-dir",
+        default=None,
+        metavar="DIR",
+        help="generate the stream chunk-by-chunk into memory-mapped "
+             "column files under DIR instead of RAM; a directory holding "
+             "a matching stream is reused without regenerating",
+    )
+    scale.add_argument(
+        "--chunk-edges",
+        type=int,
+        default=1_000_000,
+        help="generation chunk size (edges held in RAM at once)",
+    )
     return parser
 
 

@@ -8,6 +8,11 @@ the per-node edge shares that determine the per-batch degree
 distribution, which is the variable all of the paper's data-structure
 conclusions hinge on.  Real SNAP files can be loaded with
 :mod:`repro.datasets.snap` instead.
+
+For paper-scale streams, :mod:`repro.datasets.mmapio` stores edges as
+memory-mapped columns written chunk-at-a-time by the chunked RMAT
+generator and SNAP parser; :func:`make_rmat_dataset` is the front door
+for ad-hoc scale runs.
 """
 
 from repro.datasets.catalog import (
@@ -16,8 +21,14 @@ from repro.datasets.catalog import (
     DatasetSpec,
     dataset_names,
     load_dataset,
+    make_rmat_dataset,
 )
-from repro.datasets.rmat import rmat_edges
+from repro.datasets.mmapio import (
+    EdgeStreamWriter,
+    open_edge_mmap,
+    write_edge_mmap,
+)
+from repro.datasets.rmat import rmat_edge_chunks, rmat_edges, rmat_edges_mmap
 from repro.datasets.snap import load_snap_edges
 from repro.datasets.synthetic import calibrate_alpha, power_law_edges
 
@@ -25,10 +36,16 @@ __all__ = [
     "DATASETS",
     "Dataset",
     "DatasetSpec",
+    "EdgeStreamWriter",
     "calibrate_alpha",
     "dataset_names",
     "load_dataset",
     "load_snap_edges",
+    "make_rmat_dataset",
+    "open_edge_mmap",
     "power_law_edges",
+    "rmat_edge_chunks",
     "rmat_edges",
+    "rmat_edges_mmap",
+    "write_edge_mmap",
 ]

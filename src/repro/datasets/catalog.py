@@ -20,9 +20,10 @@ of the edge stream, and hence the per-batch degree tail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
-from repro.datasets.rmat import rmat_edges
+from repro.datasets.rmat import rmat_edge_chunks, rmat_edges, rmat_edges_mmap
 from repro.datasets.synthetic import calibrate_alpha, power_law_edges
 from repro.errors import DatasetError
 from repro.graph.edge import EdgeBatch
@@ -214,3 +215,51 @@ def load_dataset(name: str, seed: int = 0, size_factor: float = 1.0) -> Dataset:
         max_nodes=spec.max_nodes(size_factor),
         seed=seed,
     )
+
+
+def make_rmat_dataset(
+    scale: int,
+    num_edges: int,
+    seed: int = 0,
+    mmap_dir: Optional[Union[str, Path]] = None,
+    chunk_edges: Optional[int] = None,
+) -> Dataset:
+    """An ad-hoc R-MAT stream at arbitrary scale, ready for the driver.
+
+    Unlike the calibrated Table II stand-ins, this is the raw generator
+    -- the entry point for paper-scale runs (``repro scale`` and
+    ``scripts/bench_scale.py``).  With ``mmap_dir`` the stream lives in
+    a memory-mapped directory (written chunk-at-a-time when
+    ``chunk_edges`` is set, and reused on a recipe match instead of
+    regenerated); without it the stream is in RAM as before.
+    """
+    import numpy as np
+
+    spec = DatasetSpec(
+        name=f"RMAT-s{scale}",
+        directed=True,
+        num_nodes=1 << scale,
+        num_edges=num_edges,
+        kind="rmat",
+        rmat_scale=scale,
+        description=f"Ad-hoc R-MAT scale-{scale} stream ({num_edges} edges)",
+    )
+    if mmap_dir is not None:
+        edges = rmat_edges_mmap(
+            mmap_dir, scale, num_edges, seed=seed, chunk_edges=chunk_edges
+        )
+    elif chunk_edges is not None:
+        # Same edge sequence as the chunked mmap stream, held in RAM.
+        parts = list(
+            rmat_edge_chunks(
+                scale, num_edges, seed=seed, chunk_edges=chunk_edges
+            )
+        )
+        edges = EdgeBatch(
+            src=np.concatenate([p.src for p in parts]),
+            dst=np.concatenate([p.dst for p in parts]),
+            weight=np.concatenate([p.weight for p in parts]),
+        )
+    else:
+        edges = rmat_edges(scale=scale, num_edges=num_edges, seed=seed)
+    return Dataset(spec=spec, edges=edges, max_nodes=1 << scale, seed=seed)

@@ -16,6 +16,9 @@ bit).
 
 from __future__ import annotations
 
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
 import numpy as np
 
 from repro.errors import DatasetError
@@ -68,3 +71,144 @@ def rmat_edges(
         dst[loops] = (dst[loops] + 1) % (1 << scale)
     weight = rng.integers(1, max_weight + 1, size=num_edges).astype(np.float64)
     return EdgeBatch(src=src, dst=dst, weight=weight)
+
+
+def rmat_edge_chunks(
+    scale: int,
+    num_edges: int,
+    a: float = 0.55,
+    b: float = 0.15,
+    c: float = 0.15,
+    d: float = 0.25,
+    seed: int = 0,
+    max_weight: int = 8,
+    allow_self_loops: bool = False,
+    chunk_edges: int = 1_000_000,
+) -> Iterator[EdgeBatch]:
+    """Generate an R-MAT stream one bounded chunk at a time.
+
+    Chunk ``i`` is drawn from ``default_rng([seed, i])``, so the stream
+    is a deterministic function of ``(seed, chunk_edges)`` and any
+    chunk can be regenerated independently.  Peak memory is one chunk
+    regardless of ``num_edges``, which is what lets the data plane
+    write paper-scale streams straight to mmap.
+
+    Note a chunked stream is *not* the same edge sequence as one
+    ``rmat_edges`` call with the same seed (the rng is consumed per
+    chunk); ``chunk_edges`` is therefore part of the stream's identity
+    and is recorded in the mmap recipe.
+    """
+    if chunk_edges < 1:
+        raise DatasetError(f"chunk_edges must be >= 1, got {chunk_edges}")
+    if num_edges < 1:
+        raise DatasetError(f"num_edges must be >= 1, got {num_edges}")
+    produced = 0
+    index = 0
+    while produced < num_edges:
+        count = min(chunk_edges, num_edges - produced)
+        yield rmat_edges(
+            scale=scale,
+            num_edges=count,
+            a=a,
+            b=b,
+            c=c,
+            d=d,
+            seed=[seed, index],
+            max_weight=max_weight,
+            allow_self_loops=allow_self_loops,
+        )
+        produced += count
+        index += 1
+
+
+def rmat_recipe(
+    scale: int,
+    num_edges: int,
+    a: float = 0.55,
+    b: float = 0.15,
+    c: float = 0.15,
+    d: float = 0.25,
+    seed: int = 0,
+    max_weight: int = 8,
+    allow_self_loops: bool = False,
+    chunk_edges: Optional[int] = None,
+) -> dict:
+    """The content-identity recipe of an R-MAT stream (for mmap meta)."""
+    return {
+        "kind": "rmat",
+        "scale": scale,
+        "num_edges": num_edges,
+        "params": [a, b, c, d],
+        "seed": seed,
+        "max_weight": max_weight,
+        "allow_self_loops": allow_self_loops,
+        "chunk_edges": chunk_edges,
+    }
+
+
+def rmat_edges_mmap(
+    directory: Union[str, Path],
+    scale: int,
+    num_edges: int,
+    a: float = 0.55,
+    b: float = 0.15,
+    c: float = 0.15,
+    d: float = 0.25,
+    seed: int = 0,
+    max_weight: int = 8,
+    allow_self_loops: bool = False,
+    chunk_edges: Optional[int] = None,
+) -> EdgeBatch:
+    """Generate an R-MAT stream into ``directory`` and mmap it back.
+
+    With ``chunk_edges=None`` the stream is exactly the legacy
+    ``rmat_edges`` output (single rng draw); with a chunk size the
+    stream is the :func:`rmat_edge_chunks` sequence and never exceeds
+    one chunk of RAM while being written.  The generator recipe is
+    recorded in the stream's ``meta.json``, so an existing directory
+    with a matching recipe is reused without regeneration.
+    """
+    from repro.datasets import mmapio
+
+    directory = Path(directory)
+    recipe = rmat_recipe(
+        scale, num_edges, a, b, c, d, seed, max_weight, allow_self_loops,
+        chunk_edges,
+    )
+    if (directory / mmapio.META_FILE).exists():
+        try:
+            if mmapio.mmap_source(directory) == recipe:
+                return mmapio.open_edge_mmap(directory)
+        except DatasetError:
+            pass  # unreadable/stale stream: regenerate below
+    if chunk_edges is None:
+        chunks = iter(
+            [
+                rmat_edges(
+                    scale=scale,
+                    num_edges=num_edges,
+                    a=a,
+                    b=b,
+                    c=c,
+                    d=d,
+                    seed=seed,
+                    max_weight=max_weight,
+                    allow_self_loops=allow_self_loops,
+                )
+            ]
+        )
+    else:
+        chunks = rmat_edge_chunks(
+            scale=scale,
+            num_edges=num_edges,
+            a=a,
+            b=b,
+            c=c,
+            d=d,
+            seed=seed,
+            max_weight=max_weight,
+            allow_self_loops=allow_self_loops,
+            chunk_edges=chunk_edges,
+        )
+    mmapio.write_edge_mmap(directory, chunks, source=recipe)
+    return mmapio.open_edge_mmap(directory)

@@ -81,8 +81,14 @@ def describe_stream_config(config: StreamConfig) -> dict:
 
     The ``progress`` callback is presentation, not content: it cannot
     change any simulated number, so it is excluded from the key.
+
+    Transport (in-RAM vs mmap vs shared memory) never appears here:
+    the edge content is identical either way, so all three share cache
+    entries.  ``shards`` does change update latencies, so it is keyed
+    -- but only when not 1, keeping every pre-sharding fingerprint
+    (and its cached results) stable.
     """
-    return {
+    description = {
         "batch_size": config.batch_size,
         "structures": list(config.structures),
         "algorithms": list(config.algorithms),
@@ -95,6 +101,9 @@ def describe_stream_config(config: StreamConfig) -> dict:
         "source": config.source,
         "churn_fraction": config.churn_fraction,
     }
+    if config.shards != 1:
+        description["shards"] = config.shards
+    return description
 
 
 def describe_dataset(name: str, seed: int, size_factor: float) -> dict:

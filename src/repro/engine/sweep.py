@@ -27,13 +27,14 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.datasets.catalog import load_dataset
+from repro.datasets.catalog import Dataset, load_dataset
 from repro.engine.fingerprint import stream_run_key
 from repro.engine.store import RunStore
 from repro.errors import ConfigError
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
-from repro.streaming.driver import REP_SEED_STRIDE, StreamConfig, StreamDriver
+from repro.streaming import shm
+from repro.streaming.driver import REP_SEED_STRIDE, StreamConfig, make_driver
 from repro.streaming.results import StreamResult
 
 
@@ -80,7 +81,7 @@ def _obs_flags() -> Optional[dict]:
 
 
 def _run_stream_cell(
-    payload: Tuple[str, int, float, StreamConfig, Optional[dict]]
+    payload: Tuple[str, int, float, StreamConfig, Optional[dict], Optional[tuple]]
 ) -> Tuple[StreamResult, float, Optional[dict]]:
     """Execute one (dataset × repetition) cell; must stay picklable.
 
@@ -91,8 +92,15 @@ def _run_stream_cell(
     parent's flags, and ships its own collection back as a payload for
     the parent to merge.  Serial cells (``obs`` None) record directly
     into the parent's live globals.
+
+    ``source`` selects the edge transport: ``None`` regenerates the
+    dataset from the catalog (serial path, or shm disabled);
+    ``("shm", handle, spec, max_nodes)`` attaches the parent's
+    published shared-memory stream zero-copy.  Either way the edges are
+    bit-identical, so the transport never shows up in results or
+    fingerprints.
     """
-    dataset_name, seed, size_factor, config, obs = payload
+    dataset_name, seed, size_factor, config, obs, source = payload
     if obs is not None:
         TRACER.disable()
         TRACER.reset()
@@ -103,8 +111,14 @@ def _run_stream_cell(
             )
         METRICS.enabled = bool(obs["metrics"])
     started = time.perf_counter()
-    dataset = load_dataset(dataset_name, seed=seed, size_factor=size_factor)
-    result = StreamDriver(config).run(dataset)
+    if source is not None and source[0] == "shm":
+        _, handle, spec, max_nodes = source
+        dataset = Dataset(
+            spec=spec, edges=shm.attach(handle), max_nodes=max_nodes, seed=seed
+        )
+    else:
+        dataset = load_dataset(dataset_name, seed=seed, size_factor=size_factor)
+    result = make_driver(config).run(dataset)
     wall = time.perf_counter() - started
     obs_payload = None
     if obs is not None and (obs["trace"] or obs["metrics"]):
@@ -154,23 +168,51 @@ def run_many(
                 )
             )
     if cells:
-        if parallel and len(cells) > 1:
-            # Workers re-create the parent's obs configuration locally
-            # and return their collection as a payload; anything that
-            # runs in-process instead gets obs=None and records into
-            # the parent's live tracer/registry directly.
-            obs = _obs_flags()
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                cell_results = list(
-                    pool.map(
-                        _run_stream_cell,
-                        [payload + (obs,) for _, _, payload in cells],
-                    )
-                )
-        else:
-            cell_results = [
-                _run_stream_cell(payload + (None,)) for _, _, payload in cells
-            ]
+        published: Dict[Tuple[str, int, float], tuple] = {}
+        try:
+            if parallel and len(cells) > 1:
+                # Workers re-create the parent's obs configuration locally
+                # and return their collection as a payload; anything that
+                # runs in-process instead gets obs=None and records into
+                # the parent's live tracer/registry directly.
+                obs = _obs_flags()
+                use_shm = shm.shm_enabled()
+                payloads = []
+                for _, _, payload in cells:
+                    dataset_name, seed, size_factor, _config = payload
+                    source = None
+                    if use_shm:
+                        # One published segment per unique stream; every
+                        # repetition cell of it attaches instead of
+                        # regenerating.
+                        stream_key = (dataset_name, seed, size_factor)
+                        entry = published.get(stream_key)
+                        if entry is None:
+                            dataset = load_dataset(
+                                dataset_name, seed=seed, size_factor=size_factor
+                            )
+                            entry = (
+                                shm.SharedEdgeStream.publish(dataset.edges),
+                                dataset.spec,
+                                dataset.max_nodes,
+                            )
+                            published[stream_key] = entry
+                        stream, spec, max_nodes = entry
+                        source = ("shm", stream.handle, spec, max_nodes)
+                    payloads.append(payload + (obs, source))
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    cell_results = list(pool.map(_run_stream_cell, payloads))
+            else:
+                cell_results = [
+                    _run_stream_cell(payload + (None, None))
+                    for _, _, payload in cells
+                ]
+        finally:
+            # The parent owns every published segment: tear them down
+            # after the pool is gone, whatever the workers did.
+            for stream, _, _ in published.values():
+                stream.close()
+                stream.unlink()
         by_request: Dict[int, List[StreamResult]] = {}
         for (index, rep, payload), (result, wall, obs_payload) in zip(
             cells, cell_results

@@ -4,15 +4,22 @@ Implements the paper's measurement methodology (Section IV-B): shuffle
 the stream, ingest fixed-size batches, run update then compute per
 batch, and report per-batch latencies that the analysis layer averages
 into P1/P2/P3 stages with 95% confidence intervals.
+
+The data plane underneath is lazy and transport-agnostic:
+:class:`~repro.streaming.batching.BatchView` gathers batches on demand
+from in-RAM, memory-mapped, or shared-memory edge arrays, and
+:func:`~repro.streaming.driver.make_driver` selects the serial or
+partition-parallel (:mod:`~repro.streaming.sharded`) simulation.
 """
 
-from repro.streaming.batching import make_batches
+from repro.streaming.batching import BatchView, make_batches
 from repro.streaming.driver import (
     ALL_ALGORITHMS,
     ALL_STRUCTURES,
     REP_SEED_STRIDE,
     StreamConfig,
     StreamDriver,
+    make_driver,
 )
 from repro.streaming.results import (
     RESULT_SCHEMA_VERSION,
@@ -24,7 +31,9 @@ __all__ = [
     "ALL_ALGORITHMS",
     "ALL_STRUCTURES",
     "BatchRecord",
+    "BatchView",
     "make_batches",
+    "make_driver",
     "REP_SEED_STRIDE",
     "RESULT_SCHEMA_VERSION",
     "StreamConfig",

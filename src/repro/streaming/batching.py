@@ -5,14 +5,100 @@ streaming edges do not arrive in a predefined order -- then reads it in
 fixed-size batches.  Repetitions reshuffle with different seeds, which
 is where the run-to-run variation behind the confidence intervals
 comes from.
+
+:func:`make_batches` returns a lazy :class:`BatchView` rather than a
+list of copies: the shuffle is a permutation *index* and each batch is
+gathered from the backing arrays only when accessed.  Peak memory is
+one batch (plus the 8-byte-per-edge permutation), not 2x the stream --
+which is what lets a memory-mapped stream be driven without ever
+materializing it.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, Optional
+
+import numpy as np
 
 from repro.errors import DatasetError
 from repro.graph.edge import EdgeBatch
+
+
+class BatchView:
+    """A lazy sequence of the batches of one (shuffled) stream.
+
+    Batch ``i`` is ``edges[order][i*b : (i+1)*b]``, produced on access
+    as a single fancy-index gather (``src[order[i*b:(i+1)*b]]``) --
+    bit-identical to the eager shuffle-then-slice it replaced.  With
+    ``order=None`` (unshuffled) batches are zero-copy slices of the
+    backing arrays, memory-mapped or not.
+
+    Supports ``len``, indexing (negative too), iteration, and equality
+    with lists/tuples of batches so existing call sites and tests that
+    treated the result as a list keep working.
+    """
+
+    def __init__(
+        self,
+        edges: EdgeBatch,
+        batch_size: int,
+        order: Optional[np.ndarray] = None,
+    ) -> None:
+        if batch_size < 1:
+            raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
+        if order is not None and len(order) != len(edges):
+            raise DatasetError(
+                f"permutation length {len(order)} != stream length {len(edges)}"
+            )
+        self.edges = edges
+        self.batch_size = batch_size
+        self.order = order
+        self._count = (len(edges) + batch_size - 1) // batch_size
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: int) -> EdgeBatch:
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"batch index {index} out of range")
+        start = index * self.batch_size
+        stop = min(start + self.batch_size, len(self.edges))
+        if self.order is None:
+            return self.edges.slice(start, stop)
+        take = self.order[start:stop]
+        return EdgeBatch(
+            src=np.asarray(self.edges.src[take]),
+            dst=np.asarray(self.edges.dst[take]),
+            weight=np.asarray(self.edges.weight[take]),
+        )
+
+    def __iter__(self) -> Iterator[EdgeBatch]:
+        for index in range(self._count):
+            yield self[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple)):
+            if len(other) != self._count:
+                return False
+            return all(
+                len(mine) == len(theirs)
+                and np.array_equal(mine.src, theirs.src)
+                and np.array_equal(mine.dst, theirs.dst)
+                and np.array_equal(mine.weight, theirs.weight)
+                for mine, theirs in zip(self, other)
+            )
+        if isinstance(other, BatchView):
+            return self == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        kind = "shuffled" if self.order is not None else "ordered"
+        return (
+            f"BatchView({self._count} x {self.batch_size} {kind} batches "
+            f"over {len(self.edges)} edges)"
+        )
 
 
 def make_batches(
@@ -20,17 +106,16 @@ def make_batches(
     batch_size: int,
     shuffle_seed: int = 0,
     shuffle: bool = True,
-) -> List[EdgeBatch]:
-    """Shuffle ``edges`` and slice the stream into batches.
+) -> BatchView:
+    """Shuffle ``edges`` and slice the stream into batches, lazily.
 
-    The final batch may be smaller than ``batch_size``; it is dropped
-    only if empty.
+    The final batch may be smaller than ``batch_size``; empty streams
+    produce an empty view.  Batch contents are bit-identical to the
+    eager ``edges.shuffled(seed)`` + ``slice`` pipeline this replaces:
+    the same ``default_rng(seed).permutation`` order, applied per batch.
     """
-    if batch_size < 1:
-        raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
-    stream = edges.shuffled(shuffle_seed) if shuffle else edges
-    batches = [
-        stream.slice(start, min(start + batch_size, len(stream)))
-        for start in range(0, len(stream), batch_size)
-    ]
-    return [batch for batch in batches if len(batch)]
+    order = None
+    if shuffle and len(edges):
+        rng = np.random.default_rng(shuffle_seed)
+        order = rng.permutation(len(edges))
+    return BatchView(edges, batch_size, order)

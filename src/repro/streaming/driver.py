@@ -170,6 +170,13 @@ class StreamConfig:
     #: under FS, while INC is approximate for the monotone algorithms
     #: once edges disappear (see repro.compute.incremental).
     churn_fraction: float = 0.0
+    #: Partition-parallel update simulation: split each batch across
+    #: this many vertex-partitioned shards, each ingesting its share
+    #: into its own structure instance; the batch's update latency is
+    #: the slowest shard plus a cross-shard merge charge (see
+    #: repro.streaming.sharded).  1 = the serial model; algorithm
+    #: results are bit-identical either way.
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -180,6 +187,8 @@ class StreamConfig:
             )
         if self.repetitions < 1:
             raise ConfigError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
         for name in self.structures:
             if name not in STRUCTURES:
                 raise ConfigError(f"unknown structure {name!r}")
@@ -267,6 +276,75 @@ class StreamDriver:
                 )
             sim_clocks[track] = offset + schedule.makespan_cycles * to_us
 
+    def _make_structures(self, dataset: Dataset) -> Dict[str, object]:
+        """One fresh structure instance per configured name.
+
+        Subclasses that do not simulate structures in-process (the
+        sharded driver) return an empty mapping.
+        """
+        cfg = self.config
+        return {
+            name: make_structure(
+                name,
+                dataset.max_nodes,
+                directed=dataset.directed,
+                cost_model=cfg.cost_model,
+            )
+            for name in cfg.structures
+        }
+
+    def _update_structures(
+        self,
+        structures: Dict[str, object],
+        batch,
+        dataset: Dataset,
+        ctx: ExecutionContext,
+        record: BatchRecord,
+        sim_clocks: Dict[str, float],
+    ) -> Dict[str, int]:
+        """Ingest ``batch`` into every structure; fill update latencies.
+
+        Returns each structure's reported inserted-edge count, which
+        :meth:`_verify_inserted` cross-checks against the reference
+        graph.  The sharded driver overrides this with precomputed
+        per-shard schedules.
+        """
+        structure_inserted = {}
+        for name, structure in structures.items():
+            update = structure.update(batch, ctx)
+            record.update_cycles[name] = update.latency_cycles
+            structure_inserted[name] = update.edges_inserted
+            self._observe_update(
+                dataset, name, update.schedule, ctx, sim_clocks, "update"
+            )
+        return structure_inserted
+
+    def _delete_structures(
+        self,
+        structures: Dict[str, object],
+        victims,
+        dataset: Dataset,
+        ctx: ExecutionContext,
+        record: BatchRecord,
+        sim_clocks: Dict[str, float],
+    ) -> None:
+        """Apply the churn deletions; add their latency to the batch's."""
+        for name, structure in structures.items():
+            deletion = structure.delete(victims, ctx)
+            record.update_cycles[name] += deletion.latency_cycles
+            self._observe_update(
+                dataset, name, deletion.schedule, ctx, sim_clocks, "delete"
+            )
+
+    @staticmethod
+    def _verify_inserted(structure_inserted: Dict[str, int], expected: int) -> None:
+        """Every structure must agree with the reference graph."""
+        for name, count in structure_inserted.items():
+            assert count == expected, (
+                f"{name} inserted {count} edges where the reference "
+                f"graph inserted {expected}"
+            )
+
     def _run_repetition(
         self,
         dataset: Dataset,
@@ -282,15 +360,7 @@ class StreamDriver:
             cfg.batch_size,
             shuffle_seed=cfg.shuffle_seed + REP_SEED_STRIDE * rep,
         )
-        structures = {
-            name: make_structure(
-                name,
-                dataset.max_nodes,
-                directed=dataset.directed,
-                cost_model=cfg.cost_model,
-            )
-            for name in cfg.structures
-        }
+        structures = self._make_structures(dataset)
         reference = ReferenceGraph(dataset.max_nodes, directed=dataset.directed)
         states = {
             name: get_algorithm(name).make_state(dataset.max_nodes)
@@ -311,25 +381,16 @@ class StreamDriver:
                 num_edges=0,
             )
             # ---- Update phase: every structure ingests the batch ----
-            structure_inserted = {}
-            for name, structure in structures.items():
-                update = structure.update(batch, ctx)
-                record.update_cycles[name] = update.latency_cycles
-                structure_inserted[name] = update.edges_inserted
-                self._observe_update(
-                    dataset, name, update.schedule, ctx, sim_clocks, "update"
-                )
+            structure_inserted = self._update_structures(
+                structures, batch, dataset, ctx, record, sim_clocks
+            )
             inserted = reference.update_collect(batch)
             # The reference graph is the single source of truth for how
             # many unique edges the batch contributed; the instrumented
             # structures must agree with it (and with each other).
             record.edges_inserted = len(inserted)
             if __debug__:
-                for name, count in structure_inserted.items():
-                    assert count == len(inserted), (
-                        f"{name} inserted {count} edges where the reference "
-                        f"graph inserted {len(inserted)}"
-                    )
+                self._verify_inserted(structure_inserted, len(inserted))
             if inserted:
                 ins_src, ins_dst, ins_weight = _edge_arrays(inserted)
                 np.add.at(deg_out, ins_src, 1)
@@ -347,13 +408,9 @@ class StreamDriver:
                 victims = batch.slice(
                     0, max(1, int(len(batch) * cfg.churn_fraction))
                 )
-                for name, structure in structures.items():
-                    deletion = structure.delete(victims, ctx)
-                    record.update_cycles[name] += deletion.latency_cycles
-                    self._observe_update(
-                        dataset, name, deletion.schedule, ctx, sim_clocks,
-                        "delete",
-                    )
+                self._delete_structures(
+                    structures, victims, dataset, ctx, record, sim_clocks
+                )
                 removed = reference.delete_collect(victims)
                 if removed:
                     rem_src, rem_dst, rem_weight = _edge_arrays(removed)
@@ -456,3 +513,19 @@ class StreamDriver:
                     f"{dataset.name} rep {rep} batch {batch_index + 1}/"
                     f"{len(batches)}: |V|={n} |E|={reference.num_edges}"
                 )
+
+
+def make_driver(config: Optional[StreamConfig] = None) -> StreamDriver:
+    """The driver matching ``config``: sharded when ``shards > 1``.
+
+    Call sites (the sweep engine, the CLI, benches) construct through
+    this factory so the partition-parallel path is picked up anywhere a
+    config asks for it.
+    """
+    config = config if config is not None else StreamConfig()
+    if config.shards > 1:
+        # Local import: sharded builds on this module.
+        from repro.streaming.sharded import ShardedStreamDriver
+
+        return ShardedStreamDriver(config)
+    return StreamDriver(config)

@@ -220,6 +220,37 @@ class StreamResult:
         total = self.batch_latency(algorithm, model, structure)
         return np.divide(update, total, out=np.zeros_like(update), where=total > 0)
 
+    def edges_per_second(
+        self, algorithm: str, model: str, structure: str
+    ) -> np.ndarray:
+        """Per-batch ingest rate: attempted edges over batch latency.
+
+        The stream-scale headline number (SProBench's framing): how
+        many stream edges per simulated second this combination keeps
+        up with, batch by batch.
+        """
+        latency = self.batch_latency(algorithm, model, structure)
+        attempted = self.edges_attempted.astype(np.float64)
+        return np.divide(
+            attempted, latency, out=np.zeros_like(latency), where=latency > 0
+        )
+
+    def sustainable_throughput(
+        self, algorithm: str, model: str, structure: str
+    ) -> float:
+        """Whole-run sustained edges/second of one combination.
+
+        Total attempted edges divided by total simulated batch latency
+        -- the rate at which this pipeline drains the stream without
+        falling behind, which is the throughput a streaming deployment
+        can actually sustain (as opposed to a best-batch peak).
+        """
+        latency = self.batch_latency(algorithm, model, structure)
+        total = float(latency.sum())
+        if total <= 0:
+            return 0.0
+        return float(self.edges_attempted.sum()) / total
+
     # -- merging --------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,440 @@
+"""Partition-parallel simulation of one stream (``StreamConfig.shards``).
+
+The paper's update phase models one multi-threaded machine ingesting
+each batch whole.  This module models the natural scale-out step:
+vertex-partitioned **shards**, each ingesting the slice of every batch
+it owns into its own structure instance, followed by a merge step that
+ships cross-partition state over the remote-socket interconnect.
+
+Partitioning is by *home vertex*, so every dedup decision stays
+shard-local and therefore exact:
+
+* directed streams route edge ``(u, v)`` by ``u`` -- all of ``u``'s
+  out-adjacency, and hence every duplicate test for ``(u, *)``, lives
+  on one shard;
+* undirected streams route by ``min(u, v)`` -- both orientations of
+  ``{u, v}`` land on the same shard.
+
+Consequently the sum of per-shard inserted counts equals the serial
+reference count batch for batch, and the driver's reference-graph
+cross-check keeps holding.
+
+The sharded driver splits the run in two phases:
+
+1. **Shard simulation** (:func:`_simulate_shard`): each shard replays
+   the whole stream against its own structures, producing per
+   ``(repetition, batch, structure)`` makespan/work/count arrays.  A
+   pure function of ``(stream, config, shard)``, so running shards in
+   a process pool or in-process yields bit-identical arrays; workers
+   read the stream through the mmap directory or a shared-memory
+   segment -- never a pickled copy.
+2. **Replay** (the inherited :class:`StreamDriver` loop): the parent
+   runs reference graph, degrees, incidence, and the full compute
+   phase exactly as the serial driver -- so algorithm values, inserted
+   counts, and compute cycles are bit-identical to ``shards=1`` -- and
+   fills each batch's update latency from the plan:
+   ``max over shards of the shard makespan + the cross-shard merge
+   charge`` (:func:`repro.sim.counters.shard_merge_cycles`).
+
+The per-update simulated timeline is not traced in sharded mode (there
+is no single schedule to draw); metrics histograms are still recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph import make_structure
+from repro.graph.base import ExecutionContext
+from repro.graph.edge import EdgeBatch
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.sim.cost_model import CostModel
+from repro.sim.counters import shard_merge_cycles
+from repro.sim.machine import MachineConfig
+from repro.streaming import shm
+from repro.streaming.batching import make_batches
+from repro.streaming.driver import (
+    REP_SEED_STRIDE,
+    StreamConfig,
+    StreamDriver,
+)
+from repro.streaming.results import BatchRecord
+
+
+def shard_of(
+    src: np.ndarray,
+    dst: np.ndarray,
+    shards: int,
+    max_nodes: int,
+    directed: bool,
+) -> np.ndarray:
+    """Home shard of each edge (vectorized).
+
+    The vertex space ``[0, max_nodes)`` is cut into ``shards``
+    contiguous ranges; an edge lives with its routing key's range --
+    ``src`` for directed streams, ``min(src, dst)`` for undirected
+    ones (see the module docstring for why this keeps dedup exact).
+    """
+    key = src if directed else np.minimum(src, dst)
+    return (key * shards) // max_nodes
+
+
+def cross_shard_count(
+    src: np.ndarray,
+    dst: np.ndarray,
+    shards: int,
+    max_nodes: int,
+) -> int:
+    """Edges whose endpoints live in different vertex partitions.
+
+    This is the merge traffic: each such edge forces the owning shard
+    to publish updated state to the remote endpoint's partition.
+    """
+    if shards < 2 or len(src) == 0:
+        return 0
+    home_src = (src * shards) // max_nodes
+    home_dst = (dst * shards) // max_nodes
+    return int(np.count_nonzero(home_src != home_dst))
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one shard needs to replay the stream; picklable."""
+
+    shard: int
+    shards: int
+    source: tuple  # ("edges", EdgeBatch) | ("mmap", dir) | ("shm", handle)
+    max_nodes: int
+    directed: bool
+    batch_size: int
+    structures: Tuple[str, ...]
+    machine: MachineConfig
+    threads: Optional[int]
+    cost_model: CostModel
+    shuffle_seed: int
+    repetitions: int
+    churn_fraction: float
+
+
+@dataclass
+class ShardPlan:
+    """Merged per-shard schedules, indexed ``[rep, batch, shard, structure]``."""
+
+    shards: int
+    update_makespan: np.ndarray
+    update_work: np.ndarray
+    inserted: np.ndarray
+    delete_makespan: np.ndarray
+    removed: np.ndarray
+    sim_seconds: float
+
+
+def _resolve_edges(source: tuple) -> EdgeBatch:
+    kind = source[0]
+    if kind == "edges":
+        return source[1]
+    if kind == "mmap":
+        from repro.datasets.mmapio import open_edge_mmap
+
+        return open_edge_mmap(source[1])
+    if kind == "shm":
+        return shm.attach(source[1])
+    raise SimulationError(f"unknown shard edge source {kind!r}")
+
+
+def _simulate_shard(task: _ShardTask) -> dict:
+    """Replay the whole stream for one shard; returns schedule arrays.
+
+    Observability is forced off for the duration: the shard replay must
+    produce identical numbers whether it runs in-process or in a pool
+    worker, and the parent records everything user-visible from the
+    returned arrays instead.
+    """
+    edges = _resolve_edges(task.source)
+    metrics_was = METRICS.enabled
+    tracer_state = (TRACER.enabled, TRACER.keep_events, TRACER.sim_timeline)
+    METRICS.enabled = False
+    TRACER.enabled = False
+    try:
+        return _simulate_shard_inner(task, edges)
+    finally:
+        METRICS.enabled = metrics_was
+        TRACER.enabled, TRACER.keep_events, TRACER.sim_timeline = tracer_state
+
+
+def _simulate_shard_inner(task: _ShardTask, edges: EdgeBatch) -> dict:
+    ctx = ExecutionContext(
+        machine=task.machine, threads=task.threads, cost_model=task.cost_model
+    )
+    reps = task.repetitions
+    num_batches = (len(edges) + task.batch_size - 1) // task.batch_size
+    num_structs = len(task.structures)
+    shape = (reps, num_batches, num_structs)
+    update_makespan = np.zeros(shape)
+    update_work = np.zeros(shape)
+    inserted = np.zeros(shape, dtype=np.int64)
+    delete_makespan = np.zeros(shape)
+    removed = np.zeros(shape, dtype=np.int64)
+    started = time.perf_counter()
+    for rep in range(reps):
+        batches = make_batches(
+            edges,
+            task.batch_size,
+            shuffle_seed=task.shuffle_seed + REP_SEED_STRIDE * rep,
+        )
+        structures = {
+            name: make_structure(
+                name,
+                task.max_nodes,
+                directed=task.directed,
+                cost_model=task.cost_model,
+            )
+            for name in task.structures
+        }
+        for batch_index, batch in enumerate(batches):
+            ids = shard_of(
+                batch.src, batch.dst, task.shards, task.max_nodes, task.directed
+            )
+            mask = ids == task.shard
+            sub = EdgeBatch(
+                src=batch.src[mask],
+                dst=batch.dst[mask],
+                weight=batch.weight[mask],
+            )
+            for si, name in enumerate(task.structures):
+                update = structures[name].update(sub, ctx)
+                update_makespan[rep, batch_index, si] = update.latency_cycles
+                update_work[rep, batch_index, si] = (
+                    update.schedule.total_work_cycles
+                )
+                inserted[rep, batch_index, si] = update.edges_inserted
+            if task.churn_fraction > 0.0 and len(batch):
+                victims = batch.slice(
+                    0, max(1, int(len(batch) * task.churn_fraction))
+                )
+                vids = shard_of(
+                    victims.src, victims.dst, task.shards, task.max_nodes,
+                    task.directed,
+                )
+                vmask = vids == task.shard
+                sub_victims = EdgeBatch(
+                    src=victims.src[vmask],
+                    dst=victims.dst[vmask],
+                    weight=victims.weight[vmask],
+                )
+                for si, name in enumerate(task.structures):
+                    deletion = structures[name].delete(sub_victims, ctx)
+                    delete_makespan[rep, batch_index, si] = (
+                        deletion.latency_cycles
+                    )
+                    removed[rep, batch_index, si] = deletion.edges_inserted
+    return {
+        "update_makespan": update_makespan,
+        "update_work": update_work,
+        "inserted": inserted,
+        "delete_makespan": delete_makespan,
+        "removed": removed,
+        "wall_seconds": time.perf_counter() - started,
+    }
+
+
+def _mmap_directory(edges: EdgeBatch) -> Optional[str]:
+    """The stream directory behind a fully mmap-backed batch, if any."""
+    from repro.datasets.mmapio import META_FILE, read_meta
+
+    columns = (edges.src, edges.dst, edges.weight)
+    if not all(isinstance(col, np.memmap) for col in columns):
+        return None
+    try:
+        directory = Path(columns[0].filename).parent
+        if not (directory / META_FILE).exists():
+            return None
+        if read_meta(directory)["edges"] != len(edges):
+            return None  # a slice, not the whole stream
+    except Exception:
+        return None
+    return str(directory)
+
+
+class ShardedStreamDriver(StreamDriver):
+    """Drives one dataset with partition-parallel update simulation.
+
+    ``parallel=True`` (default) fans the shard replays out over a
+    process pool, reading the stream through its mmap directory when
+    the dataset is mmap-backed, else through a temporary shared-memory
+    segment (else falling back in-process, e.g. ``SAGA_BENCH_SHM=0``
+    with an in-RAM stream).  ``parallel=False`` replays shards in this
+    process; the resulting numbers are bit-identical either way.
+    """
+
+    def __init__(
+        self, config: Optional[StreamConfig] = None, parallel: bool = True
+    ) -> None:
+        super().__init__(config)
+        self.parallel = parallel
+        self._plan: Optional[ShardPlan] = None
+
+    # -- phase 1: shard simulation --------------------------------------
+
+    def _shard_tasks(self, dataset, source: tuple) -> list:
+        cfg = self.config
+        return [
+            _ShardTask(
+                shard=shard,
+                shards=cfg.shards,
+                source=source,
+                max_nodes=dataset.max_nodes,
+                directed=dataset.directed,
+                batch_size=cfg.batch_size,
+                structures=tuple(cfg.structures),
+                machine=cfg.machine,
+                threads=cfg.threads,
+                cost_model=cfg.cost_model,
+                shuffle_seed=cfg.shuffle_seed,
+                repetitions=cfg.repetitions,
+                churn_fraction=cfg.churn_fraction,
+            )
+            for shard in range(cfg.shards)
+        ]
+
+    def _simulate_shards(self, dataset) -> ShardPlan:
+        cfg = self.config
+        started = time.perf_counter()
+        stream = None
+        try:
+            source: Optional[tuple] = None
+            if self.parallel and cfg.shards > 1:
+                directory = _mmap_directory(dataset.edges)
+                if directory is not None:
+                    source = ("mmap", directory)
+                elif shm.shm_enabled():
+                    stream = shm.SharedEdgeStream.publish(dataset.edges)
+                    source = ("shm", stream.handle)
+            if source is not None:
+                workers = min(cfg.shards, os.cpu_count() or 1)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    outs = list(
+                        pool.map(
+                            _simulate_shard, self._shard_tasks(dataset, source)
+                        )
+                    )
+            else:
+                outs = [
+                    _simulate_shard(task)
+                    for task in self._shard_tasks(
+                        dataset, ("edges", dataset.edges)
+                    )
+                ]
+        finally:
+            if stream is not None:
+                stream.close()
+                stream.unlink()
+        plan = ShardPlan(
+            shards=cfg.shards,
+            update_makespan=np.stack(
+                [out["update_makespan"] for out in outs], axis=2
+            ),
+            update_work=np.stack([out["update_work"] for out in outs], axis=2),
+            inserted=np.stack([out["inserted"] for out in outs], axis=2),
+            delete_makespan=np.stack(
+                [out["delete_makespan"] for out in outs], axis=2
+            ),
+            removed=np.stack([out["removed"] for out in outs], axis=2),
+            sim_seconds=time.perf_counter() - started,
+        )
+        if METRICS.enabled:
+            METRICS.histogram(
+                "shard_sim_seconds",
+                "wall time of the whole-stream shard simulation phase",
+                dataset=dataset.name,
+            ).observe(plan.sim_seconds)
+        return plan
+
+    # -- phase 2: replay with plan lookups ------------------------------
+
+    def run(self, dataset):
+        self._plan = self._simulate_shards(dataset)
+        try:
+            return super().run(dataset)
+        finally:
+            self._plan = None
+
+    def _make_structures(self, dataset) -> Dict[str, object]:
+        # Structures were already simulated shard by shard in phase 1.
+        return {}
+
+    def _update_structures(
+        self,
+        structures: Dict[str, object],
+        batch,
+        dataset,
+        ctx: ExecutionContext,
+        record: BatchRecord,
+        sim_clocks: Dict[str, float],
+    ) -> Dict[str, int]:
+        cfg = self.config
+        plan = self._plan
+        r, b = record.repetition, record.batch_index
+        merge_started = time.perf_counter()
+        cross = cross_shard_count(
+            batch.src, batch.dst, cfg.shards, dataset.max_nodes
+        )
+        merge = shard_merge_cycles(cross, ctx.machine)
+        inserted: Dict[str, int] = {}
+        for si, name in enumerate(cfg.structures):
+            makespan = float(plan.update_makespan[r, b, :, si].max())
+            record.update_cycles[name] = makespan + merge
+            inserted[name] = int(plan.inserted[r, b, :, si].sum())
+            if METRICS.enabled:
+                METRICS.histogram(
+                    "stream_update_latency_seconds",
+                    "simulated per-batch update latency",
+                    structure=name,
+                ).observe(ctx.seconds(makespan + merge))
+        if METRICS.enabled:
+            METRICS.counter(
+                "shard_cross_edges_total",
+                "edges crossing vertex partitions (merge traffic units)",
+                dataset=dataset.name,
+            ).inc(cross)
+            METRICS.histogram(
+                "shard_merge_seconds",
+                "wall time of the per-batch cross-shard merge step",
+                dataset=dataset.name,
+            ).observe(time.perf_counter() - merge_started)
+        return inserted
+
+    def _delete_structures(
+        self,
+        structures: Dict[str, object],
+        victims,
+        dataset,
+        ctx: ExecutionContext,
+        record: BatchRecord,
+        sim_clocks: Dict[str, float],
+    ) -> None:
+        cfg = self.config
+        plan = self._plan
+        r, b = record.repetition, record.batch_index
+        cross = cross_shard_count(
+            victims.src, victims.dst, cfg.shards, dataset.max_nodes
+        )
+        merge = shard_merge_cycles(cross, ctx.machine)
+        for si, name in enumerate(cfg.structures):
+            makespan = float(plan.delete_makespan[r, b, :, si].max())
+            record.update_cycles[name] += makespan + merge
+            if METRICS.enabled:
+                METRICS.histogram(
+                    "stream_update_latency_seconds",
+                    "simulated per-batch update latency",
+                    structure=name,
+                ).observe(ctx.seconds(makespan + merge))
