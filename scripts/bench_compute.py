@@ -7,8 +7,11 @@ times every algorithm under both compute models on both paths:
 
 - the legacy path (``SAGA_BENCH_LEGACY_COMPUTE=1``): per-vertex Python
   loops (Algorithm 1 queue engine, frontier relaxation, delta-stepping);
-- the kernel path (default): one columnar CSR view per batch plus the
-  frontier kernels of :mod:`repro.compute.kernels`.
+- the kernel path (default): an incrementally-maintained CSR view per
+  batch (:mod:`repro.compute.csrstore`) plus the frontier kernels of
+  :mod:`repro.compute.kernels`, compiled to C when a compiler is
+  available (``SAGA_BENCH_NO_CCOMPUTE=1`` pins the numpy twins; the
+  written payload records which ran under ``ckernel_loaded``).
 
 Both paths are checked bit-identical while being timed (value-array
 bytes and every per-iteration operation count are folded into a digest
@@ -44,7 +47,9 @@ import time
 import numpy as np
 
 from repro.algorithms import get_algorithm
-from repro.compute.kernels import LEGACY_COMPUTE_ENV, ComputeView, view_scope
+from repro.compute import ckernels
+from repro.compute.csrstore import ViewMaintainer
+from repro.compute.kernels import LEGACY_COMPUTE_ENV, view_scope
 from repro.datasets import load_dataset
 from repro.graph import ReferenceGraph
 from repro.obs import METRICS
@@ -96,6 +101,9 @@ def run_path(batches, max_nodes, directed, source, legacy):
         os.environ.pop(LEGACY_COMPUTE_ENV, None)
     reference = ReferenceGraph(max_nodes, directed=directed)
     incidence = _InEdgeBuffer(max_nodes)
+    maintainer = None if legacy else ViewMaintainer(max_nodes)
+    empty_ids = np.empty(0, dtype=np.int64)
+    empty_wts = np.empty(0, dtype=np.float64)
     states = {
         name: get_algorithm(name).make_state(max_nodes)
         for name in ALGORITHM_NAMES
@@ -107,23 +115,31 @@ def run_path(batches, max_nodes, directed, source, legacy):
     view_seconds = 0.0
     for batch in batches:
         inserted = reference.update_collect(batch)
+        ins_src = ins_dst = rem_src = rem_dst = empty_ids
+        ins_wt = empty_wts
         if inserted:
-            src, dst, weight = _edge_arrays(inserted)
+            ins_src, ins_dst, ins_wt = _edge_arrays(inserted)
             if not directed:
-                src, dst, weight = _with_reverse_interleaved(src, dst, weight)
-            incidence.append(src, dst, weight)
+                ins_src, ins_dst, ins_wt = _with_reverse_interleaved(
+                    ins_src, ins_dst, ins_wt
+                )
+            incidence.append(ins_src, ins_dst, ins_wt)
         victims = batch.slice(0, max(1, int(len(batch) * CHURN_FRACTION)))
         removed = reference.delete_collect(victims)
         if removed:
-            src, dst, weight = _edge_arrays(removed)
+            rem_src, rem_dst, rem_wt = _edge_arrays(removed)
             if not directed:
-                src, dst, weight = _with_reverse_interleaved(src, dst, weight)
-            incidence.delete(src, dst)
+                rem_src, rem_dst, _ = _with_reverse_interleaved(
+                    rem_src, rem_dst, rem_wt
+                )
+            incidence.delete(rem_src, rem_dst)
         n = reference.num_nodes
         compute_view = None
-        if n and not legacy:
+        if n and maintainer is not None:
             started = time.perf_counter()
-            compute_view = ComputeView.from_edges(*incidence.view(), n)
+            compute_view = maintainer.apply(
+                ins_src, ins_dst, ins_wt, rem_src, rem_dst, n, incidence.arrays
+            )
             view_seconds += time.perf_counter() - started
         with view_scope(reference, compute_view):
             for alg_name in ALGORITHM_NAMES:
@@ -286,6 +302,7 @@ def main(argv=None):
             "repeat": args.repeat,
         },
         "python": platform.python_version(),
+        "ckernel_loaded": ckernels.loaded(),
         "algorithms": rows,
         "metrics": collect_metrics(
             batches, dataset.max_nodes, dataset.directed, source

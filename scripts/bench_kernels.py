@@ -35,6 +35,7 @@ import time
 
 from repro.datasets import load_dataset
 from repro.graph import ExecutionContext, make_structure
+from repro.sim import ckernel
 from repro.obs import METRICS
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
 from repro.sim.tasks import LEGACY_TASKS_ENV
@@ -208,6 +209,7 @@ def main(argv=None):
             "repeat": args.repeat,
         },
         "python": platform.python_version(),
+        "ckernel_loaded": ckernel.get_kernel() is not None,
         "structures": rows,
         "metrics": collect_metrics(batches, dataset.max_nodes, dataset.directed),
         "legacy_seconds": round(legacy_total, 4),

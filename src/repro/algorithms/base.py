@@ -82,6 +82,19 @@ class Algorithm(abc.ABC):
     #: boolean array.  ``None`` keeps deletions on the legacy path.
     supports_batch = None
 
+    #: Compiled vertex-function opcode (a ``ckernels.OP_*`` constant).
+    #: When set and the compute kernels built, the INC engine runs each
+    #: Gauss-Seidel round as a single C call instead of the wave
+    #: machinery.  ``None`` keeps third-party algorithms on numpy.
+    ckernel_op: Optional[int] = None
+
+    def ckernel_constants(self, num_nodes: int) -> Tuple[float, float]:
+        """``(pr_base, damping)`` scalars for the compiled vertex function.
+
+        Only PR's opcode reads them; everything else ignores the pair.
+        """
+        return (0.0, 0.0)
+
     # -- runs -----------------------------------------------------------
 
     @abc.abstractmethod
@@ -320,9 +333,7 @@ def extract_in_edges(view, compute_view=None) -> Tuple[np.ndarray, np.ndarray, n
     if not use_legacy_compute():
         cv = compute_view if compute_view is not None else kernels.scoped_view(view)
         if cv is not None:
-            csr = cv.in_csr
-            dst = np.repeat(np.arange(cv.num_nodes, dtype=np.int64), csr.degrees)
-            return csr.indices, dst, csr.weights
+            return kernels.packed_in_edges(cv)
     srcs, dsts, weights = [], [], []
     for v in range(view.num_nodes):
         for u, w in view.in_neigh(v):
@@ -386,6 +397,7 @@ def frontier_relaxation(
     algorithm: str,
     optimize: str = "min",
     compute_view=None,
+    relax_op: Optional[int] = None,
 ) -> ComputeRun:
     """Round-based push-style relaxation from ``source`` (BFS, SSWP).
 
@@ -394,7 +406,9 @@ def frontier_relaxation(
     and ``better`` must accept numpy arrays as well as scalars: the
     default engine is the vectorized relaxation kernel (``optimize``
     names the scatter direction, "min" or "max"), with the per-edge
-    loop below behind ``SAGA_BENCH_LEGACY_COMPUTE=1``.
+    loop below behind ``SAGA_BENCH_LEGACY_COMPUTE=1``.  ``relax_op``
+    optionally names the compiled twin of ``relax`` (a
+    ``ckernels.RELAX_*`` code) for the fused C rounds.
     """
     if not use_legacy_compute():
         return kernels.frontier_relaxation_kernel(
@@ -406,6 +420,7 @@ def frontier_relaxation(
             optimize,
             algorithm,
             compute_view=compute_view,
+            relax_op=relax_op,
         )
     run = ComputeRun(algorithm=algorithm, model="FS", values=values, source=source)
     run.linear_scans = 1

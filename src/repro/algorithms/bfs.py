@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, frontier_relaxation, in_sources
-from repro.compute import kernels
+from repro.compute import ckernels, kernels
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.errors import SimulationError
 
@@ -36,6 +36,7 @@ class BFS(Algorithm):
     name = "BFS"
     needs_source = True
     monotonic = "min"
+    ckernel_op = ckernels.OP_BFS
 
     def supports(self, source_value, weight, target_value):
         return target_value == source_value + 1.0
@@ -86,6 +87,7 @@ class BFS(Algorithm):
             algorithm=self.name,
             optimize="min",
             compute_view=compute_view,
+            relax_op=ckernels.RELAX_ADD1,
         )
 
     def _fs_direction_optimizing(self, view, source: int) -> ComputeRun:

@@ -18,14 +18,14 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, in_sources, synchronous_fixpoint
-from repro.compute import kernels
+from repro.compute import ckernels, kernels
 from repro.compute.stats import ComputeRun
 
 
 def _combine_min(values: np.ndarray, src: np.ndarray, dst: np.ndarray, weight: np.ndarray) -> np.ndarray:
     new_values = values.copy()
     if len(src):
-        np.minimum.at(new_values, dst, values[src])
+        kernels.scatter_extreme(new_values, dst, values[src], maximize=False)
     return new_values
 
 
@@ -34,6 +34,7 @@ class ConnectedComponents(Algorithm):
 
     name = "CC"
     monotonic = "min"
+    ckernel_op = ckernels.OP_CC
 
     def supports(self, source_value, weight, target_value):
         return target_value == source_value

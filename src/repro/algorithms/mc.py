@@ -17,14 +17,14 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, in_sources, synchronous_fixpoint
-from repro.compute import kernels
+from repro.compute import ckernels, kernels
 from repro.compute.stats import ComputeRun
 
 
 def _combine_max(values: np.ndarray, src: np.ndarray, dst: np.ndarray, weight: np.ndarray) -> np.ndarray:
     new_values = values.copy()
     if len(src):
-        np.maximum.at(new_values, dst, values[src])
+        kernels.scatter_extreme(new_values, dst, values[src], maximize=True)
     return new_values
 
 
@@ -33,6 +33,7 @@ class MaxComputation(Algorithm):
 
     name = "MC"
     monotonic = "max"
+    ckernel_op = ckernels.OP_MC
 
     def supports(self, source_value, weight, target_value):
         return target_value == source_value

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from repro.algorithms.base import Algorithm, in_pairs
-from repro.compute import kernels
+from repro.compute import ckernels, kernels
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.errors import SimulationError
 from repro.obs.tracer import TRACER
@@ -38,6 +38,7 @@ class SSSP(Algorithm):
     needs_source = True
     uses_weights = True
     monotonic = "min"
+    ckernel_op = ckernels.OP_SSSP
 
     def supports(self, source_value, weight, target_value):
         return target_value == source_value + weight
@@ -75,7 +76,7 @@ class SSSP(Algorithm):
             return self.delta
         # Mean edge weight is a standard default for delta-stepping.
         if cv is not None:
-            weights = cv.out_csr.weights
+            weights = kernels.packed_out_weights(cv)
             count = int(weights.size)
             # Sequential cumsum keeps the scalar loop's accumulation
             # order (np.sum is pairwise and rounds differently).
@@ -165,7 +166,9 @@ class SSSP(Algorithm):
         :func:`kernels.relaxation_events` scan that recovers exactly the
         successful compare-and-updates the scalar loop would have
         performed -- so pushes, bucket membership, and float bits all
-        match the legacy path.
+        match the legacy path.  When the compiled compute kernels
+        built, the whole pass (weight filter, sequential conditional
+        relaxation, event capture) is one C call instead.
         """
         cv = kernels.resolve_view(view, compute_view)
         n = max(cv.num_nodes, 1)
@@ -176,9 +179,21 @@ class SSSP(Algorithm):
             return run
         values[source] = 0.0
         delta = self._pick_delta(view, cv)
+        ck = ckernels.get("delta_pass")
 
         def relax(base: np.ndarray, wts: np.ndarray) -> np.ndarray:
             return base + wts
+
+        def pass_events(frontier: np.ndarray, heavy: bool):
+            """(target, candidate) of each winning relaxation, in order."""
+            if ck is not None:
+                return ck.delta_pass(cv.out_csr, frontier, values, delta, heavy)
+            mask = (lambda w: w > delta) if heavy else (lambda w: w <= delta)
+            cand, tgt, x0 = kernels.relax_pass(
+                cv, values, frontier, relax, "min", edge_mask=mask
+            )
+            events = kernels.relaxation_events(cand, tgt, x0, minimize=True)
+            return tgt[events], cand[events]
 
         # Buckets hold unmerged member fragments; dedup happens at pop
         # time (the legacy sets dedup on insert -- same members).
@@ -203,21 +218,16 @@ class SSSP(Algorithm):
                         break
                     settled_parts.append(frontier)
                     kernels._observe_frontier(self.name, "FS", frontier.size)
-                    cand, tgt, x0 = kernels.relax_pass(
-                        cv, values, frontier, relax, "min",
-                        edge_mask=lambda w: w <= delta,
-                    )
-                    events = kernels.relaxation_events(cand, tgt, x0, minimize=True)
+                    ev_t, ev_c = pass_events(frontier, heavy=False)
                     run.iterations.append(
                         IterationStats.make(
                             push=frontier,
-                            pushes=int(events.size),
-                            cas_ops=int(events.size),
+                            pushes=int(ev_t.size),
+                            cas_ops=int(ev_t.size),
                         )
                     )
-                    if events.size:
-                        ev_t = tgt[events]
-                        js = np.floor_divide(cand[events], delta).astype(np.int64)
+                    if ev_t.size:
+                        js = np.floor_divide(ev_c, delta).astype(np.int64)
                         same = js == i
                         members = np.unique(ev_t[same])
                         other = np.nonzero(~same)[0]
@@ -232,21 +242,16 @@ class SSSP(Algorithm):
                 # Heavy-edge phase: one relaxation pass over the bucket.
                 settled = np.concatenate(settled_parts)
                 kernels._observe_frontier(self.name, "FS", settled.size)
-                cand, tgt, x0 = kernels.relax_pass(
-                    cv, values, settled, relax, "min",
-                    edge_mask=lambda w: w > delta,
-                )
-                events = kernels.relaxation_events(cand, tgt, x0, minimize=True)
+                ev_t, ev_c = pass_events(settled, heavy=True)
                 run.iterations.append(
                     IterationStats.make(
                         push=settled,
-                        pushes=int(events.size),
-                        cas_ops=int(events.size),
+                        pushes=int(ev_t.size),
+                        cas_ops=int(ev_t.size),
                     )
                 )
-                if events.size:
-                    ev_t = tgt[events]
-                    js = np.floor_divide(cand[events], delta).astype(np.int64)
+                if ev_t.size:
+                    js = np.floor_divide(ev_c, delta).astype(np.int64)
                     for j in np.unique(js):
                         buckets.setdefault(int(j), []).append(ev_t[js == j])
         return run

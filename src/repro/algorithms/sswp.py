@@ -18,7 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.base import Algorithm, frontier_relaxation, in_pairs
-from repro.compute import kernels
+from repro.compute import ckernels, kernels
 from repro.compute.stats import ComputeRun
 from repro.errors import SimulationError
 
@@ -30,6 +30,7 @@ class SSWP(Algorithm):
     needs_source = True
     uses_weights = True
     monotonic = "max"
+    ckernel_op = ckernels.OP_SSWP
 
     def supports(self, source_value, weight, target_value):
         return target_value == min(source_value, weight)
@@ -79,4 +80,5 @@ class SSWP(Algorithm):
             algorithm=self.name,
             optimize="max",
             compute_view=compute_view,
+            relax_op=ckernels.RELAX_MINW,
         )

@@ -1,0 +1,665 @@
+"""Compiled compute kernels: the hottest inner loops in C via ctypes.
+
+PR 4 vectorized the compute phase, but profiling the quick RMAT
+workload shows numpy *dispatch* still dominates: the INC engine issues
+~30 small array ops per round (and the dependency-wave machinery on
+top), matching the csl-experiments finding that per-op overhead
+exceeds pure compute ~2.9x.  This module compiles the inner loops with
+the system C compiler (the :mod:`repro.sim.cbuild` pattern from PR 2:
+content-hashed build cache, atomic install, ``-ffp-contract=off``) and
+exposes them behind the same bit-identity contract as the numpy twins.
+
+The deeper win is *fusion*: the legacy engines are sequential
+Gauss-Seidel loops, which numpy can only reproduce through
+dependency-level wave scheduling -- but a C loop that processes the
+ascending frontier one position at a time reproduces the sequential
+semantics *directly*.  ``saga_inc_round`` runs one whole INC round
+(recalculate + trigger + dedup) in a single call; ``saga_relax_round``
+and ``saga_delta_pass`` do the same for the FS relaxation and
+delta-stepping passes.  Float accumulation order is the sequential
+order of the legacy loops by construction, NaN semantics follow numpy
+(``np.minimum`` propagates NaN; ``inf - inf`` is not a change), and
+the build forbids FMA contraction.
+
+Gates:
+
+- ``SAGA_BENCH_NO_CCOMPUTE=1`` (or ``all``) disables every compiled
+  compute kernel; a comma list (``inc_round,expand``) disables
+  individual kernels, leaving the rest compiled.
+- ``SAGA_BENCH_REQUIRE_CCOMPUTE=1`` turns a failed build into a hard
+  error instead of the silent numpy fallback (CI sets it so a broken
+  toolchain cannot masquerade as a perf regression).
+- ``SAGA_BENCH_LEGACY_COMPUTE=1`` bypasses the vectorized engines
+  entirely, so these kernels never run on the legacy path.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.cbuild import load_library
+
+#: Disable compiled compute kernels: "1"/"all", or a comma list of
+#: kernel names (see :data:`KERNEL_NAMES`).
+DISABLE_ENV = "SAGA_BENCH_NO_CCOMPUTE"
+
+#: When set, a failed build raises instead of falling back to numpy.
+REQUIRE_ENV = "SAGA_BENCH_REQUIRE_CCOMPUTE"
+
+#: Individually gateable kernel names.
+KERNEL_NAMES = frozenset(
+    {
+        "expand",
+        "segment_reduce",
+        "segment_sum",
+        "inc_round",
+        "relax_round",
+        "delta_pass",
+        "scatter",
+    }
+)
+
+#: Fused INC-round vertex functions (``saga_inc_round``'s ``op``).
+OP_BFS = 0
+OP_SSSP = 1
+OP_SSWP = 2
+OP_CC = 3
+OP_MC = 4
+OP_PR = 5
+
+#: Fused relaxation ops (``saga_relax_round``'s ``op``).
+RELAX_ADD1 = 0  # candidate = base + 1.0           (BFS)
+RELAX_MINW = 1  # candidate = min(base, weight)    (SSWP)
+
+_I64 = ctypes.c_int64
+_I32 = ctypes.c_int32
+_F64 = ctypes.c_double
+_PTR = ctypes.c_void_p
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
+
+/* Compute-phase inner loops.  Every function mirrors a numpy kernel
+ * (or the legacy per-vertex loop it vectorizes) operation for
+ * operation: identical IEEE float64 arithmetic in identical order, and
+ * numpy's NaN semantics where min/max are involved (np.minimum /
+ * np.maximum propagate NaN; C fmin/fmax do NOT, so comparisons are
+ * written out with explicit x != x checks).
+ *
+ * CSR rows arrive as (starts, lens) rather than a packed indptr: the
+ * incremental CSR store keeps per-row slack, so rows need not be
+ * contiguous.  A packed CSR is the special case starts = indptr[:n].
+ */
+
+/* np.minimum: NaN wins; otherwise the smaller. */
+static inline double take_min(double acc, double x)
+{
+    return (x < acc || x != x) ? x : acc;
+}
+
+static inline double take_max(double acc, double x)
+{
+    return (x > acc || x != x) ? x : acc;
+}
+
+/* expand_frontier: all adjacency rows of the frontier, in sequential
+ * iteration order (frontier position major, neighbor order minor). */
+void saga_expand(
+    int64_t k,
+    const int64_t *frontier,
+    const int64_t *starts,
+    const int64_t *lens,
+    const int64_t *cols,
+    const double *wts,
+    int64_t *seg_out,
+    int64_t *nbr_out,
+    double *wt_out)
+{
+    int64_t p, j, r = 0;
+    for (p = 0; p < k; p++) {
+        int64_t v = frontier[p];
+        int64_t s = starts[v];
+        int64_t d = lens[v];
+        for (j = 0; j < d; j++) {
+            seg_out[r] = p;
+            nbr_out[r] = cols[s + j];
+            wt_out[r] = wts[s + j];
+            r++;
+        }
+    }
+}
+
+/* segment_min / segment_max over back-to-back segments; empty segments
+ * yield the identity, matching _segment_reduce. */
+void saga_segment_reduce(
+    int64_t nseg,
+    const int64_t *counts,
+    const double *terms,
+    int32_t maximize,
+    double identity,
+    double *out)
+{
+    int64_t s, j, i = 0;
+    for (s = 0; s < nseg; s++) {
+        double acc = identity;
+        int64_t c = counts[s];
+        if (maximize) {
+            for (j = 0; j < c; j++)
+                acc = take_max(acc, terms[i + j]);
+        } else {
+            for (j = 0; j < c; j++)
+                acc = take_min(acc, terms[i + j]);
+        }
+        out[s] = acc;
+        i += c;
+    }
+}
+
+/* segment_sum_ordered: out[seg[i]] += terms[i] in array order -- the
+ * exact accumulation order of np.bincount (and a Python += loop).
+ * out must arrive zeroed. */
+void saga_segment_sum(
+    int64_t m,
+    const int64_t *seg,
+    const double *terms,
+    double *out)
+{
+    int64_t i;
+    for (i = 0; i < m; i++)
+        out[seg[i]] += terms[i];
+}
+
+/* np.minimum.at / np.maximum.at: sequential scatter extreme. */
+void saga_scatter_extreme(
+    int64_t m,
+    const int64_t *idx,
+    const double *terms,
+    int32_t maximize,
+    double *out)
+{
+    int64_t i;
+    for (i = 0; i < m; i++) {
+        int64_t t = idx[i];
+        out[t] = maximize ? take_max(out[t], terms[i])
+                          : take_min(out[t], terms[i]);
+    }
+}
+
+static int cmp_i64(const void *a, const void *b)
+{
+    int64_t x = *(const int64_t *)a, y = *(const int64_t *)b;
+    return (x > y) - (x < y);
+}
+
+/* One whole INC round (Algorithm 1), fused: sequential Gauss-Seidel
+ * over the ascending unique frontier -- each vertex recalculates from
+ * the in-CSR reading values[] as they stand (earlier positions already
+ * updated, later ones not), writes its new value, and on a change
+ * greater than epsilon scans its out-row (cas_ops), deduplicating the
+ * next frontier through the caller's zeroed seen[] bytes.  This IS the
+ * legacy run_incremental loop, so bit-identity holds by construction;
+ * the numpy engine needs dependency-level waves to reproduce it.
+ *
+ * op selects the Table-I vertex function.  pinned (-1 = none) keeps
+ * the source at its current value (old == new, never triggers).
+ * Outputs: triggered[] prefix (counts_out[0]), next_out[] prefix
+ * sorted ascending (counts_out[2]), counts_out[1] = cas_ops.  seen[]
+ * is reset to zero before returning.
+ */
+void saga_inc_round(
+    int64_t k,
+    const int64_t *frontier,
+    const int64_t *in_starts,
+    const int64_t *in_lens,
+    const int64_t *in_cols,
+    const double *in_wts,
+    const int64_t *out_starts,
+    const int64_t *out_lens,
+    const int64_t *out_cols,
+    const int64_t *out_deg,
+    double *values,
+    int32_t op,
+    double epsilon,
+    int64_t pinned,
+    double pr_base,
+    double damping,
+    uint8_t *seen,
+    int64_t *triggered,
+    int64_t *next_out,
+    int64_t *counts_out)
+{
+    int64_t p, j, nt = 0, cas = 0, nn = 0;
+    for (p = 0; p < k; p++) {
+        int64_t v = frontier[p];
+        double old = values[v];
+        double nv;
+        if (v == pinned) {
+            nv = old;
+        } else {
+            int64_t s = in_starts[v];
+            int64_t d = in_lens[v];
+            double acc;
+            switch (op) {
+            case 0: /* BFS: min(values[u] + 1) */
+                acc = INFINITY;
+                for (j = 0; j < d; j++)
+                    acc = take_min(acc, values[in_cols[s + j]] + 1.0);
+                nv = acc;
+                break;
+            case 1: /* SSSP: min(values[u] + w) */
+                acc = INFINITY;
+                for (j = 0; j < d; j++)
+                    acc = take_min(acc, values[in_cols[s + j]] + in_wts[s + j]);
+                nv = acc;
+                break;
+            case 2: /* SSWP: max(0, max(min(values[u], w))) */
+                acc = -INFINITY;
+                for (j = 0; j < d; j++) {
+                    double vu = values[in_cols[s + j]];
+                    double w = in_wts[s + j];
+                    acc = take_max(acc, (vu < w) ? vu : w);
+                }
+                /* np.maximum(acc, 0.0): NaN propagates. */
+                nv = (acc > 0.0 || acc != acc) ? acc : 0.0;
+                break;
+            case 3: /* CC: min(values[v], min(values[u])) */
+                acc = old;
+                for (j = 0; j < d; j++)
+                    acc = take_min(acc, values[in_cols[s + j]]);
+                nv = acc;
+                break;
+            case 4: /* MC: max(values[v], max(values[u])) */
+                acc = old;
+                for (j = 0; j < d; j++)
+                    acc = take_max(acc, values[in_cols[s + j]]);
+                nv = acc;
+                break;
+            default: /* PR: base + d * sum(values[u] / outdeg[u]) */
+                acc = 0.0;
+                for (j = 0; j < d; j++) {
+                    int64_t u = in_cols[s + j];
+                    acc += values[u] / (double)out_deg[u];
+                }
+                nv = pr_base + damping * acc;
+                break;
+            }
+        }
+        values[v] = nv;
+        /* inf - inf is NaN; NaN > eps is false -- not a change,
+         * exactly as the scalar engine treats it. */
+        if (fabs(old - nv) > epsilon) {
+            int64_t s = out_starts[v];
+            int64_t d = out_lens[v];
+            triggered[nt++] = v;
+            for (j = 0; j < d; j++) {
+                int64_t t = out_cols[s + j];
+                cas++;
+                if (!seen[t]) {
+                    seen[t] = 1;
+                    next_out[nn++] = t;
+                }
+            }
+        }
+    }
+    for (p = 0; p < nn; p++)
+        seen[next_out[p]] = 0;
+    /* The numpy engine's np.unique: seen[] already deduplicated, so
+     * sorting ascending completes the contract. */
+    qsort(next_out, (size_t)nn, sizeof(int64_t), cmp_i64);
+    counts_out[0] = nt;
+    counts_out[1] = cas;
+    counts_out[2] = nn;
+}
+
+/* One FS frontier-relaxation round (BFS / SSWP), fused: the legacy
+ * loop verbatim -- each frontier vertex reads its base value at its
+ * turn, relaxes its out-edges sequentially, conditionally updates, and
+ * appends each target to the next frontier on its first improvement
+ * (improved[] must arrive zeroed; reset before returning).  Returns
+ * the next-frontier length; next_out keeps discovery order (the
+ * legacy append order), NOT sorted. */
+int64_t saga_relax_round(
+    int64_t k,
+    const int64_t *frontier,
+    const int64_t *starts,
+    const int64_t *lens,
+    const int64_t *cols,
+    const double *wts,
+    double *values,
+    int32_t op,
+    int32_t maximize,
+    uint8_t *improved,
+    int64_t *next_out)
+{
+    int64_t p, j, nn = 0;
+    for (p = 0; p < k; p++) {
+        int64_t v = frontier[p];
+        double base = values[v];
+        int64_t s = starts[v];
+        int64_t d = lens[v];
+        for (j = 0; j < d; j++) {
+            int64_t t = cols[s + j];
+            double w = wts[s + j];
+            double cand = op == 0 ? base + 1.0 : ((base < w) ? base : w);
+            double cur = values[t];
+            if (maximize ? (cand > cur) : (cand < cur)) {
+                values[t] = cand;
+                if (!improved[t]) {
+                    improved[t] = 1;
+                    next_out[nn++] = t;
+                }
+            }
+        }
+    }
+    for (p = 0; p < nn; p++)
+        improved[next_out[p]] = 0;
+    return nn;
+}
+
+/* One delta-stepping light or heavy pass (SSSP FS), fused: sequential
+ * conditional relaxation over the frontier's out-edges filtered by
+ * weight (light: w <= delta, heavy: w > delta).  Every successful
+ * compare-and-update emits one (target, candidate) event in sequential
+ * order -- exactly the rows kernels.relaxation_events reconstructs.
+ * Returns the event count. */
+int64_t saga_delta_pass(
+    int64_t k,
+    const int64_t *frontier,
+    const int64_t *starts,
+    const int64_t *lens,
+    const int64_t *cols,
+    const double *wts,
+    double *values,
+    double delta,
+    int32_t heavy,
+    int64_t *ev_tgt,
+    double *ev_cand)
+{
+    int64_t p, j, ne = 0;
+    for (p = 0; p < k; p++) {
+        int64_t v = frontier[p];
+        double base = values[v];
+        int64_t s = starts[v];
+        int64_t d = lens[v];
+        for (j = 0; j < d; j++) {
+            double w = wts[s + j];
+            int64_t t;
+            double cand;
+            if (heavy ? (w <= delta) : (w > delta))
+                continue;
+            t = cols[s + j];
+            cand = base + w;
+            if (cand < values[t]) {
+                values[t] = cand;
+                ev_tgt[ne] = t;
+                ev_cand[ne] = cand;
+                ne++;
+            }
+        }
+    }
+    return ne;
+}
+"""
+
+
+def _sig(fn, restype, argtypes) -> None:
+    fn.restype = restype
+    fn.argtypes = argtypes
+
+
+class ComputeKernels:
+    """ctypes wrappers over the compiled kernels (numpy in/out)."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._lib = lib
+        _sig(lib.saga_expand, None, [_I64] + [_PTR] * 8)
+        _sig(lib.saga_segment_reduce, None, [_I64, _PTR, _PTR, _I32, _F64, _PTR])
+        _sig(lib.saga_segment_sum, None, [_I64, _PTR, _PTR, _PTR])
+        _sig(lib.saga_scatter_extreme, None, [_I64, _PTR, _PTR, _I32, _PTR])
+        _sig(
+            lib.saga_inc_round,
+            None,
+            [_I64] + [_PTR] * 10 + [_I32, _F64, _I64, _F64, _F64] + [_PTR] * 4,
+        )
+        _sig(
+            lib.saga_relax_round,
+            _I64,
+            [_I64] + [_PTR] * 6 + [_I32, _I32] + [_PTR] * 2,
+        )
+        _sig(
+            lib.saga_delta_pass,
+            _I64,
+            [_I64] + [_PTR] * 6 + [_F64, _I32] + [_PTR] * 2,
+        )
+
+    # ``arr.ctypes.data`` of a size-0 array is a valid (never
+    # dereferenced) pointer, so empty frontiers need no special casing.
+    @staticmethod
+    def _p(arr: np.ndarray):
+        return arr.ctypes.data
+
+    def expand(
+        self, csr, frontier: np.ndarray, total: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """C twin of :func:`repro.compute.kernels.expand_frontier`."""
+        seg = np.empty(total, dtype=np.int64)
+        nbr = np.empty(total, dtype=np.int64)
+        wt = np.empty(total, dtype=np.float64)
+        self._lib.saga_expand(
+            frontier.size,
+            self._p(frontier),
+            self._p(csr.indptr),
+            self._p(csr.degrees),
+            self._p(csr.indices),
+            self._p(csr.weights),
+            self._p(seg),
+            self._p(nbr),
+            self._p(wt),
+        )
+        return seg, nbr, wt
+
+    def segment_reduce(
+        self, terms: np.ndarray, counts: np.ndarray, identity: float, maximize: bool
+    ) -> np.ndarray:
+        out = np.empty(counts.size, dtype=np.float64)
+        self._lib.saga_segment_reduce(
+            counts.size,
+            self._p(counts),
+            self._p(terms),
+            1 if maximize else 0,
+            identity,
+            self._p(out),
+        )
+        return out
+
+    def segment_sum(
+        self, terms: np.ndarray, seg: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        out = np.zeros(num_segments, dtype=np.float64)
+        self._lib.saga_segment_sum(
+            terms.size, self._p(seg), self._p(terms), self._p(out)
+        )
+        return out
+
+    def scatter_extreme(
+        self, out: np.ndarray, idx: np.ndarray, terms: np.ndarray, maximize: bool
+    ) -> None:
+        """In-place ``np.minimum.at`` / ``np.maximum.at``."""
+        self._lib.saga_scatter_extreme(
+            idx.size, self._p(idx), self._p(terms), 1 if maximize else 0, self._p(out)
+        )
+
+    def inc_round(
+        self,
+        cv,
+        frontier: np.ndarray,
+        values: np.ndarray,
+        op: int,
+        epsilon: float,
+        pinned: int,
+        pr_base: float,
+        damping: float,
+        seen: np.ndarray,
+    ) -> Tuple[np.ndarray, int, np.ndarray]:
+        """One fused INC round; returns (triggered, cas_ops, next)."""
+        k = frontier.size
+        out_csr = cv.out_csr
+        in_csr = cv.in_csr
+        cap = int(out_csr.degrees[frontier].sum()) if k else 0
+        triggered = np.empty(k, dtype=np.int64)
+        next_out = np.empty(cap, dtype=np.int64)
+        counts = np.zeros(3, dtype=np.int64)
+        self._lib.saga_inc_round(
+            k,
+            self._p(frontier),
+            self._p(in_csr.indptr),
+            self._p(in_csr.degrees),
+            self._p(in_csr.indices),
+            self._p(in_csr.weights),
+            self._p(out_csr.indptr),
+            self._p(out_csr.degrees),
+            self._p(out_csr.indices),
+            self._p(out_csr.degrees),
+            self._p(values),
+            op,
+            epsilon,
+            pinned,
+            pr_base,
+            damping,
+            self._p(seen),
+            self._p(triggered),
+            self._p(next_out),
+            self._p(counts),
+        )
+        return triggered[: counts[0]], int(counts[1]), next_out[: counts[2]]
+
+    def relax_round(
+        self,
+        csr,
+        frontier: np.ndarray,
+        values: np.ndarray,
+        op: int,
+        maximize: bool,
+        improved: np.ndarray,
+    ) -> np.ndarray:
+        """One fused FS relaxation round; returns the next frontier."""
+        cap = int(csr.degrees[frontier].sum()) if frontier.size else 0
+        next_out = np.empty(cap, dtype=np.int64)
+        nn = self._lib.saga_relax_round(
+            frontier.size,
+            self._p(frontier),
+            self._p(csr.indptr),
+            self._p(csr.degrees),
+            self._p(csr.indices),
+            self._p(csr.weights),
+            self._p(values),
+            op,
+            1 if maximize else 0,
+            self._p(improved),
+            self._p(next_out),
+        )
+        return next_out[:nn]
+
+    def delta_pass(
+        self,
+        csr,
+        frontier: np.ndarray,
+        values: np.ndarray,
+        delta: float,
+        heavy: bool,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One fused delta-stepping pass; returns (ev_tgt, ev_cand)."""
+        cap = int(csr.degrees[frontier].sum()) if frontier.size else 0
+        ev_tgt = np.empty(cap, dtype=np.int64)
+        ev_cand = np.empty(cap, dtype=np.float64)
+        ne = self._lib.saga_delta_pass(
+            frontier.size,
+            self._p(frontier),
+            self._p(csr.indptr),
+            self._p(csr.degrees),
+            self._p(csr.indices),
+            self._p(csr.weights),
+            self._p(values),
+            delta,
+            1 if heavy else 0,
+            self._p(ev_tgt),
+            self._p(ev_cand),
+        )
+        return ev_tgt[:ne], ev_cand[:ne]
+
+
+_kernels: Optional[ComputeKernels] = None
+_disabled: FrozenSet[str] = frozenset()
+_tried = False
+
+
+def _disabled_kernels() -> FrozenSet[str]:
+    raw = os.environ.get(DISABLE_ENV, "").strip()
+    if not raw:
+        return frozenset()
+    if raw in {"1", "all", "true"}:
+        return KERNEL_NAMES
+    names = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    unknown = names - KERNEL_NAMES
+    if unknown:
+        raise ValueError(
+            f"{DISABLE_ENV} names unknown kernels {sorted(unknown)}; "
+            f"known: {sorted(KERNEL_NAMES)}"
+        )
+    return names
+
+
+def _probe() -> Optional[ComputeKernels]:
+    global _kernels, _disabled, _tried
+    if _tried:
+        return _kernels
+    _tried = True
+    _disabled = _disabled_kernels()
+    if _disabled == KERNEL_NAMES:
+        return None
+    try:
+        _kernels = ComputeKernels(load_library(_SOURCE, "saga_compute"))
+    except Exception as exc:
+        if os.environ.get(REQUIRE_ENV):
+            raise RuntimeError(
+                f"{REQUIRE_ENV} is set but the compute kernels failed to "
+                f"build: {exc}"
+            ) from exc
+        _kernels = None
+    return _kernels
+
+
+def get(name: str) -> Optional[ComputeKernels]:
+    """The compiled kernels if ``name`` is available, else ``None``.
+
+    ``name`` must be one of :data:`KERNEL_NAMES`; call sites gate each
+    fused path on its own name so individual kernels can be disabled
+    for differential debugging.
+    """
+    kernels = _probe()
+    if kernels is None or name in _disabled:
+        return None
+    return kernels
+
+
+def loaded() -> bool:
+    """True when the compiled library is built and loadable.
+
+    The bench scripts embed this in ``BENCH_*.json`` so a silent numpy
+    fallback cannot masquerade as a perf change.
+    """
+    return _probe() is not None
+
+
+def reset() -> None:
+    """Forget the cached probe result and env parse (test hook)."""
+    global _kernels, _disabled, _tried
+    _kernels = None
+    _disabled = frozenset()
+    _tried = False

@@ -1,0 +1,367 @@
+"""Incremental CSR maintenance: stop rebuilding ComputeViews per batch.
+
+PR 4's driver rebuilt both CSR directions from the full incidence
+buffer every batch -- O(E log E) per batch for a delta of a few
+thousand edges.  This module maintains the CSR arrays *under* the
+insert/delete deltas instead:
+
+:class:`DynamicCSR`
+    A "slack CSR": per-row ``starts``/``lens``/``caps`` plus a shared
+    column heap (``cols``/``wts``).  Rows keep capacity slack, so an
+    append is usually an in-place write; a row that overflows relocates
+    to the heap's end with doubled capacity (amortized O(1) per edge),
+    leaving its old extent behind as a *tombstone* -- dead heap space
+    reclaimed by periodic compaction.  Deletions shift the row's tail
+    left (order-preserving), turning freed slots into reusable row
+    slack rather than tombstones.  Per-row neighbor order remains the
+    chronological insertion order -- exactly the order
+    ``csr_from_edges`` produces and the reference graph's dicts
+    iterate, so every kernel stays bit-identical.
+
+:class:`ViewMaintainer`
+    Owns one :class:`DynamicCSR` per direction and turns the driver's
+    per-batch ``(inserted, removed)`` arrays into a fresh
+    :class:`~repro.compute.kernels.ComputeView`.  Falls back to a full
+    rebuild when the batch's churn exceeds a threshold of the live edge
+    count (``SAGA_BENCH_CSR_REBUILD_CHURN``, default 0.5; ``0`` forces
+    a rebuild every batch -- the differential-test baseline).  Emits
+    ``compute.view_update`` / ``compute.view_rebuild`` spans and the
+    ``compute_view_build_seconds`` / ``compute_view_update_seconds`` /
+    ``compute_view_rebuilds_total`` observability series.
+
+The exported view aliases the store's live arrays (zero-copy) and is
+valid until the next :meth:`ViewMaintainer.apply`; within a batch the
+driver's ``view_scope`` reuse across algorithm x model runs sees one
+consistent snapshot.  Each apply bumps :attr:`ViewMaintainer.version`
+and stamps it on the view, so staleness is detectable, and records the
+dirty row range for observability.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.compute.kernels import ComputeView, CSRArrays
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+
+#: Churn threshold env var: rebuild when (inserts + deletes) exceed
+#: this fraction of the live edge count.  "0" rebuilds every batch.
+CHURN_ENV = "SAGA_BENCH_CSR_REBUILD_CHURN"
+
+#: Default churn threshold (fraction of live edges).
+DEFAULT_CHURN_THRESHOLD = 0.5
+
+#: Compact the heap when tombstoned space exceeds half the used extent
+#: (and the heap is big enough for compaction to matter).
+COMPACT_DEAD_FRACTION = 0.5
+COMPACT_MIN_USED = 4096
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+
+
+def churn_threshold() -> float:
+    raw = os.environ.get(CHURN_ENV)
+    if raw is None or raw == "":
+        return DEFAULT_CHURN_THRESHOLD
+    return float(raw)
+
+
+def _flat_slots(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Heap slot of every row element: starts repeated + within-row rank."""
+    total = int(counts.sum())
+    offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    return np.repeat(starts, counts) + within
+
+
+class DynamicCSR:
+    """One adjacency direction as a slack CSR under edge deltas.
+
+    ``keys`` are the grouping vertex (src for the out-direction, dst
+    for in); ``vals`` the other endpoint.  All public methods take
+    whole delta arrays and run a constant number of numpy ops.
+    """
+
+    __slots__ = (
+        "max_nodes",
+        "starts",
+        "lens",
+        "caps",
+        "cols",
+        "wts",
+        "used",
+        "dead",
+        "live",
+    )
+
+    def __init__(self, max_nodes: int) -> None:
+        self.max_nodes = max_nodes
+        self.starts = np.zeros(max_nodes, dtype=np.int64)
+        self.lens = np.zeros(max_nodes, dtype=np.int64)
+        self.caps = np.zeros(max_nodes, dtype=np.int64)
+        self.cols = np.empty(0, dtype=np.int64)
+        self.wts = np.empty(0, dtype=np.float64)
+        self.used = 0  # heap extent handed out (live + dead + slack)
+        self.dead = 0  # tombstoned slots from row relocations
+        self.live = 0  # live edges
+
+    # -- full rebuild ---------------------------------------------------
+
+    def rebuild(self, keys: np.ndarray, vals: np.ndarray, wts: np.ndarray) -> None:
+        """Tight repack from a full edge list (chronological order).
+
+        The stable grouping sort reproduces ``csr_from_edges`` exactly:
+        per-row order equals the edge list's chronological order.  Old
+        exported arrays are left untouched (the new heap is fresh), so
+        a previous batch's view stays a consistent snapshot.
+        """
+        order = np.argsort(keys, kind="stable")
+        counts = np.bincount(keys, minlength=self.max_nodes).astype(np.int64)
+        self.starts = np.cumsum(counts) - counts
+        self.lens = counts
+        self.caps = counts.copy()
+        self.cols = vals[order]
+        self.wts = wts[order]
+        self.used = self.live = int(len(keys))
+        self.dead = 0
+
+    # -- incremental deltas ---------------------------------------------
+
+    def _grow_heap(self, extra: int) -> None:
+        needed = self.used + extra
+        if needed <= len(self.cols):
+            return
+        capacity = max(len(self.cols) * 2, needed, 1024)
+        for name, dtype in (("cols", np.int64), ("wts", np.float64)):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=dtype)
+            grown[: self.used] = old[: self.used]
+            setattr(self, name, grown)
+
+    def insert(self, keys: np.ndarray, vals: np.ndarray, wts: np.ndarray) -> None:
+        """Append ``(key, val, wt)`` edges preserving chronological order."""
+        m = len(keys)
+        if m == 0:
+            return
+        order = np.argsort(keys, kind="stable")
+        k_sorted = keys[order]
+        rows, first, add = np.unique(k_sorted, return_index=True, return_counts=True)
+        need = self.lens[rows] + add
+        over = need > self.caps[rows]
+        if over.any():
+            # Relocate overflowing rows to the heap's end with doubled
+            # capacity; the old extents become tombstones.
+            rows_over = rows[over]
+            old_starts = self.starts[rows_over]
+            old_lens = self.lens[rows_over]
+            new_caps = np.maximum(np.maximum(self.caps[rows_over] * 2, need[over]), 4)
+            total_new = int(new_caps.sum())
+            self._grow_heap(total_new)
+            new_starts = self.used + np.cumsum(new_caps) - new_caps
+            src_flat = _flat_slots(old_starts, old_lens)
+            dst_flat = _flat_slots(new_starts, old_lens)
+            self.cols[dst_flat] = self.cols[src_flat]
+            self.wts[dst_flat] = self.wts[src_flat]
+            self.dead += int(self.caps[rows_over].sum())
+            self.starts[rows_over] = new_starts
+            self.caps[rows_over] = new_caps
+            self.used += total_new
+        # Scatter the new entries behind each row's current tail, in
+        # chronological (stable-sorted) order within each row.
+        within = np.arange(m, dtype=np.int64) - np.repeat(first, add)
+        dest = np.repeat(self.starts[rows] + self.lens[rows], add) + within
+        self.cols[dest] = vals[order]
+        self.wts[dest] = wts[order]
+        self.lens[rows] += add
+        self.live += m
+
+    def delete(self, keys: np.ndarray, vals: np.ndarray) -> int:
+        """Remove ``(key, val)`` pairs, preserving surviving row order.
+
+        Freed slots stay behind each row's tail as reusable slack (not
+        tombstones).  Returns the number of edges removed.
+        """
+        if len(keys) == 0 or self.live == 0:
+            return 0
+        rows = np.unique(keys)
+        counts = self.lens[rows]
+        total = int(counts.sum())
+        if total == 0:
+            return 0
+        seg = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+        flat = _flat_slots(self.starts[rows], counts)
+        # Packed (row, col) membership against the deletion set; the
+        # reference graph guarantees (src, dst) uniqueness, so each
+        # requested pair matches at most one slot.
+        slot_key = rows[seg] * self.max_nodes + self.cols[flat]
+        del_key = keys * self.max_nodes + vals
+        keep = ~np.isin(slot_key, del_key)
+        removed = total - int(keep.sum())
+        if removed == 0:
+            return 0
+        kept_counts = np.bincount(seg[keep], minlength=len(rows)).astype(np.int64)
+        src_flat = flat[keep]
+        dst_flat = _flat_slots(self.starts[rows], kept_counts)
+        self.cols[dst_flat] = self.cols[src_flat]
+        self.wts[dst_flat] = self.wts[src_flat]
+        self.lens[rows] = kept_counts
+        self.live -= removed
+        return removed
+
+    # -- maintenance ----------------------------------------------------
+
+    def needs_compaction(self) -> bool:
+        return (
+            self.used > COMPACT_MIN_USED
+            and self.dead > self.used * COMPACT_DEAD_FRACTION
+        )
+
+    def compact(self) -> None:
+        """Repack the heap tight, dropping tombstones and slack."""
+        flat = _flat_slots(self.starts, self.lens)
+        counts = self.lens
+        self.cols = self.cols[flat]
+        self.wts = self.wts[flat]
+        self.starts = np.cumsum(counts) - counts
+        self.caps = counts.copy()
+        self.used = self.live
+        self.dead = 0
+
+    # -- export ---------------------------------------------------------
+
+    def export(self, num_nodes: int) -> CSRArrays:
+        """Zero-copy CSR view of the first ``num_nodes`` rows.
+
+        ``indptr``/``degrees`` are views into the live arrays and the
+        heap may hold slack between rows, so the result is a *slack*
+        CSR: valid for every row-addressed kernel (they index
+        ``indptr[v]`` + ``degrees[v]``), not for code assuming
+        ``indices`` is packed edge-dense (see ``ComputeView.packed``).
+        """
+        return CSRArrays(
+            indptr=self.starts[:num_nodes],
+            indices=self.cols,
+            weights=self.wts,
+            degrees=self.lens[:num_nodes],
+        )
+
+    def check_against(self, reference_csr: CSRArrays, num_nodes: int) -> bool:
+        """Row-for-row equality with a packed CSR (test helper)."""
+        if not np.array_equal(self.lens[:num_nodes], reference_csr.degrees):
+            return False
+        flat = _flat_slots(self.starts[:num_nodes], self.lens[:num_nodes])
+        return np.array_equal(self.cols[flat], reference_csr.indices) and np.array_equal(
+            self.wts[flat], reference_csr.weights
+        )
+
+
+class ViewMaintainer:
+    """Per-repetition owner of both CSR directions under edge deltas."""
+
+    def __init__(
+        self, max_nodes: int, churn: Optional[float] = None
+    ) -> None:
+        self.max_nodes = max_nodes
+        self.churn = churn_threshold() if churn is None else churn
+        self.out = DynamicCSR(max_nodes)
+        self.inc = DynamicCSR(max_nodes)
+        self.version = 0
+        self.builds = 0  # full (re)builds, including the seed build
+        self.rebuilds = 0  # churn/threshold-triggered rebuilds only
+        self.updates = 0  # incremental applies
+        self.compactions = 0
+        self.last_dirty_rows = 0
+        self._packed = False
+
+    def _observe(self, metric: str, help_text: str, seconds: float) -> None:
+        if METRICS.enabled:
+            METRICS.histogram(metric, help_text).observe(seconds)
+
+    def apply(
+        self,
+        ins_src: np.ndarray,
+        ins_dst: np.ndarray,
+        ins_wt: np.ndarray,
+        rem_src: np.ndarray,
+        rem_dst: np.ndarray,
+        num_nodes: int,
+        all_edges: Callable[[], Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> ComputeView:
+        """Fold one batch's deltas in and export the ComputeView.
+
+        ``ins_*``/``rem_*`` are the batch's actually-inserted and
+        actually-removed incidence arrays (both orientations already
+        interleaved for undirected graphs), applied in driver order:
+        inserts first, then churn deletions.  ``all_edges`` lazily
+        yields the full live incidence arrays -- only consulted on the
+        full-rebuild path.
+        """
+        delta = len(ins_src) + len(rem_src)
+        live = self.out.live
+        rebuild = live == 0 or delta > self.churn * live
+        self.version += 1
+        started = time.perf_counter()
+        if rebuild:
+            with TRACER.span(
+                "compute.view_rebuild", args={"delta": delta, "live": live}
+            ):
+                src, dst, wt = all_edges()
+                self.out.rebuild(src, dst, wt)
+                self.inc.rebuild(dst, src, wt)
+            self.builds += 1
+            self._packed = True
+            if live:
+                self.rebuilds += 1
+                if METRICS.enabled:
+                    METRICS.counter(
+                        "compute_view_rebuilds_total",
+                        "churn-triggered full CSR rebuilds",
+                    ).inc()
+            self._observe(
+                "compute_view_build_seconds",
+                "full CSR (re)build time per batch",
+                time.perf_counter() - started,
+            )
+        else:
+            with TRACER.span(
+                "compute.view_update", args={"delta": delta, "live": live}
+            ):
+                self.out.insert(ins_src, ins_dst, ins_wt)
+                self.inc.insert(ins_dst, ins_src, ins_wt)
+                if len(rem_src):
+                    self.out.delete(rem_src, rem_dst)
+                    self.inc.delete(rem_dst, rem_src)
+                compacted = False
+                for store in (self.out, self.inc):
+                    if store.needs_compaction():
+                        store.compact()
+                        self.compactions += 1
+                        compacted = True
+                        if METRICS.enabled:
+                            METRICS.counter(
+                                "compute_view_compactions_total",
+                                "tombstone compactions of the CSR heap",
+                            ).inc()
+            self.updates += 1
+            self._packed = False
+            dirty = np.concatenate([ins_src, ins_dst, rem_src, rem_dst])
+            self.last_dirty_rows = int(np.unique(dirty).size) if dirty.size else 0
+            self._observe(
+                "compute_view_update_seconds",
+                "incremental CSR delta-apply time per batch",
+                time.perf_counter() - started,
+            )
+        view = ComputeView(
+            num_nodes,
+            out_csr=self.out.export(num_nodes),
+            in_csr=self.inc.export(num_nodes),
+            packed=self._packed,
+        )
+        view.version = self.version
+        return view

@@ -42,6 +42,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from repro.compute import ckernels
 from repro.compute.stats import ComputeRun, IterationStats
 from repro.errors import SimulationError
 from repro.obs.metrics import METRICS
@@ -67,10 +68,14 @@ def use_legacy_compute() -> bool:
 class CSRArrays(NamedTuple):
     """One direction of adjacency in CSR form.
 
-    ``indices[indptr[u]:indptr[u + 1]]`` are u's neighbors in the exact
-    order the source view iterates them (required for bit-identity of
-    sequential accumulations); ``weights`` is parallel to ``indices``
-    and ``degrees`` is ``np.diff(indptr)``.
+    ``indices[indptr[u] : indptr[u] + degrees[u]]`` are u's neighbors
+    in the exact order the source view iterates them (required for
+    bit-identity of sequential accumulations); ``weights`` is parallel
+    to ``indices``.  Rows are usually packed (``degrees`` is
+    ``np.diff(indptr)``), but the incrementally-maintained views of
+    :mod:`repro.compute.csrstore` export rows with slack between them;
+    every kernel therefore reads row extents from ``indptr[u]`` +
+    ``degrees[u]``, never from ``indptr[u + 1]``.
     """
 
     indptr: np.ndarray
@@ -133,12 +138,34 @@ class ComputeView:
     ``out_neigh``/``in_neigh``.
     """
 
-    __slots__ = ("num_nodes", "out_csr", "in_csr")
+    __slots__ = (
+        "num_nodes",
+        "out_csr",
+        "in_csr",
+        "packed",
+        "version",
+        "_packed_in",
+        "_packed_out_w",
+    )
 
-    def __init__(self, num_nodes: int, out_csr: CSRArrays, in_csr: CSRArrays) -> None:
+    def __init__(
+        self,
+        num_nodes: int,
+        out_csr: CSRArrays,
+        in_csr: CSRArrays,
+        packed: bool = True,
+    ) -> None:
         self.num_nodes = num_nodes
         self.out_csr = out_csr
         self.in_csr = in_csr
+        #: True when both CSRs are slack-free (indices/weights have
+        #: exactly E live entries in row-major order).  Incremental
+        #: views from csrstore leave slack and set this False.
+        self.packed = packed
+        #: Monotonic snapshot id assigned by the maintainer (0 = ad hoc).
+        self.version = 0
+        self._packed_in = None
+        self._packed_out_w = None
 
     @property
     def out_degree(self) -> np.ndarray:
@@ -183,6 +210,81 @@ def _as_csr(arrays, num_nodes: int) -> CSRArrays:
         return arrays
     indptr, indices, weights = arrays
     return CSRArrays(indptr, indices, weights, np.diff(indptr))
+
+
+def csr_from_pair_rows(rows, num_nodes: int) -> CSRArrays:
+    """:class:`CSRArrays` from materialized per-vertex pair rows.
+
+    Like :func:`csr_from_rows` but requires ``rows`` to be an indexable
+    sequence of ``len()``-able ``(neighbor, weight)`` collections, which
+    lets the columns come from one bulk ``np.array`` conversion instead
+    of a per-pair Python loop.  Neighbor ids survive the float64 round
+    trip exactly (they are far below 2**53).
+    """
+    counts = np.fromiter(
+        (len(rows[u]) for u in range(num_nodes)), dtype=np.int64, count=num_nodes
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    total = int(indptr[-1])
+    if total == 0:
+        return CSRArrays(indptr, _EMPTY_I64, _EMPTY_F64, counts)
+    flat = np.array(
+        [pair for u in range(num_nodes) for pair in rows[u]], dtype=np.float64
+    ).reshape(total, 2)
+    return CSRArrays(
+        indptr=indptr,
+        indices=flat[:, 0].astype(np.int64),
+        weights=np.ascontiguousarray(flat[:, 1]),
+        degrees=counts,
+    )
+
+
+def _flat_row_slots(csr: CSRArrays, num_nodes: int) -> np.ndarray:
+    """Heap positions of all live entries of rows 0..n, row-major."""
+    counts = csr.degrees[:num_nodes]
+    total = int(counts.sum())
+    offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    return np.repeat(csr.indptr[:num_nodes], counts) + within
+
+
+def packed_in_edges(cv: ComputeView) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(src, dst, weight)`` of every edge, grouped by destination.
+
+    Within one destination the edges keep the view's neighbor order --
+    the order the legacy in-edge extraction iterates.  Zero-copy when
+    the view is packed; a single flat gather otherwise.  Cached on the
+    view, which is immutable once published.
+    """
+    cached = cv._packed_in
+    if cached is None:
+        csr = cv.in_csr
+        n = cv.num_nodes
+        dst = np.repeat(np.arange(n, dtype=np.int64), csr.degrees[:n])
+        if cv.packed:
+            cached = (csr.indices, dst, csr.weights)
+        else:
+            flat = _flat_row_slots(csr, n)
+            cached = (csr.indices[flat], dst, csr.weights[flat])
+        cv._packed_in = cached
+    return cached
+
+
+def packed_out_weights(cv: ComputeView) -> np.ndarray:
+    """All live out-edge weights in row-major order (slack squeezed out).
+
+    SSSP's delta pick needs a sequential ``cumsum`` over exactly the
+    live weights in the order the packed view would store them.
+    """
+    weights = cv._packed_out_w
+    if weights is None:
+        if cv.packed:
+            weights = cv.out_csr.weights
+        else:
+            weights = cv.out_csr.weights[_flat_row_slots(cv.out_csr, cv.num_nodes)]
+        cv._packed_out_w = weights
+    return weights
 
 
 # -- driver-scoped view sharing ---------------------------------------
@@ -248,6 +350,9 @@ def expand_frontier(
     total = int(counts.sum())
     if total == 0:
         return _EMPTY_I64, _EMPTY_I64, _EMPTY_F64
+    ck = ckernels.get("expand")
+    if ck is not None:
+        return ck.expand(csr, frontier, total)
     seg = np.repeat(np.arange(len(frontier), dtype=np.int64), counts)
     offsets = np.cumsum(counts) - counts  # exclusive prefix per position
     within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
@@ -263,11 +368,20 @@ def segment_min(terms: np.ndarray, counts: np.ndarray, identity: float) -> np.nd
     (only the starts of non-empty segments are passed, which makes the
     spans between consecutive starts cover exactly one segment each).
     """
+    ck = ckernels.get("segment_reduce")
+    if ck is not None and identity == np.inf:
+        # The C loop seeds every segment with the identity; that is
+        # only a no-op for the direction's true identity, so other
+        # identities keep the reduceat path.
+        return ck.segment_reduce(terms, counts, identity, maximize=False)
     return _segment_reduce(np.minimum, terms, counts, identity)
 
 
 def segment_max(terms: np.ndarray, counts: np.ndarray, identity: float) -> np.ndarray:
     """Per-segment maximum with ``identity`` for empty segments."""
+    ck = ckernels.get("segment_reduce")
+    if ck is not None and identity == -np.inf:
+        return ck.segment_reduce(terms, counts, identity, maximize=True)
     return _segment_reduce(np.maximum, terms, counts, identity)
 
 
@@ -292,7 +406,31 @@ def segment_sum_ordered(
     """
     if terms.size == 0:
         return np.zeros(num_segments, dtype=np.float64)
+    ck = ckernels.get("segment_sum")
+    if ck is not None:
+        return ck.segment_sum(terms, seg, num_segments)
     return np.bincount(seg, weights=terms, minlength=num_segments)
+
+
+def scatter_extreme(
+    out: np.ndarray, idx: np.ndarray, terms: np.ndarray, maximize: bool
+) -> None:
+    """In-place per-index min/max scatter (``np.minimum.at`` twin).
+
+    Min/max are order-free bitwise, so the compiled loop and the ufunc
+    ``.at`` form are interchangeable; the C path is skipped under the
+    legacy env so the legacy engines' timings stay untouched.
+    """
+    ck = None if use_legacy_compute() else ckernels.get("scatter")
+    if ck is not None and idx.size:
+        ck.scatter_extreme(
+            out,
+            np.ascontiguousarray(idx, dtype=np.int64),
+            np.ascontiguousarray(terms, dtype=np.float64),
+            maximize,
+        )
+        return
+    (np.maximum if maximize else np.minimum).at(out, idx, terms)
 
 
 def prefix_waves(
@@ -443,6 +581,13 @@ def run_incremental_frontier(
     the sequential loop would, recalculate wave-at-a-time, then derive
     ``triggered``/``cas_ops``/``pushes`` from vectorized masks over the
     out-expansion (the legacy visited bitvector becomes ``np.unique``).
+
+    When the algorithm declares a compiled vertex function
+    (``ckernel_op``) and the compute kernels built, the whole round --
+    expansion, Gauss-Seidel recalculation, trigger test, next-frontier
+    dedup -- runs as one C call: the C loop IS sequential, so the wave
+    machinery (whose entire purpose is reproducing sequential reads
+    with vector ops) disappears rather than being translated.
     """
     cv = resolve_view(view, compute_view)
     n = cv.num_nodes
@@ -452,6 +597,36 @@ def run_incremental_frontier(
     pinned = source if algorithm.needs_source and source is not None else None
     frontier = as_frontier(affected, n)
     rounds = 0
+    ck = ckernels.get("inc_round")
+    ck_op = getattr(algorithm, "ckernel_op", None)
+    if ck is not None and ck_op is not None:
+        pin = int(pinned) if pinned is not None and pinned < n else -1
+        pr_base, damping = algorithm.ckernel_constants(n)
+        seen = np.zeros(n, dtype=np.uint8)
+        with TRACER.span(
+            "compute.kernel", args={"algorithm": algorithm.name, "model": "INC"}
+        ):
+            while frontier.size:
+                rounds += 1
+                if rounds > max_rounds:
+                    raise SimulationError(
+                        f"incremental {algorithm.name} exceeded {max_rounds} "
+                        "rounds; the vertex function is probably not convergent"
+                    )
+                _observe_frontier(algorithm.name, "INC", frontier.size)
+                triggered, cas_ops, next_frontier = ck.inc_round(
+                    cv, frontier, values, ck_op, epsilon, pin, pr_base, damping, seen
+                )
+                run.iterations.append(
+                    IterationStats.make(
+                        pull=frontier,
+                        push=triggered,
+                        pushes=int(next_frontier.size),
+                        cas_ops=cas_ops,
+                    )
+                )
+                frontier = next_frontier
+        return run
     with TRACER.span(
         "compute.kernel", args={"algorithm": algorithm.name, "model": "INC"}
     ):
@@ -719,22 +894,37 @@ def frontier_relaxation_kernel(
     optimize: str,
     algorithm: str,
     compute_view: Optional[ComputeView] = None,
+    relax_op: Optional[int] = None,
 ) -> ComputeRun:
-    """Vectorized :func:`repro.algorithms.base.frontier_relaxation`."""
+    """Vectorized :func:`repro.algorithms.base.frontier_relaxation`.
+
+    ``relax_op`` is the compiled twin of ``relax`` (a
+    ``ckernels.RELAX_*`` code); when given and the compute kernels
+    built, each round is one sequential C pass -- relaxation, update,
+    and first-improvement discovery fused, in the exact order the
+    legacy per-edge loop runs.
+    """
     cv = resolve_view(view, compute_view)
     run = ComputeRun(algorithm=algorithm, model="FS", values=values, source=source)
     run.linear_scans = 1
     if source >= cv.num_nodes:
         return run
     frontier = np.array([source], dtype=np.int64)
+    ck = ckernels.get("relax_round") if relax_op is not None else None
+    improved = np.zeros(cv.num_nodes, dtype=np.uint8) if ck is not None else None
     with TRACER.span("compute.kernel", args={"algorithm": algorithm, "model": "FS"}):
         while frontier.size:
             _observe_frontier(algorithm, "FS", frontier.size)
-            candidates, targets, start_values = relax_pass(
-                cv, values, frontier, relax, optimize
-            )
-            rows = first_improvements(candidates, targets, start_values, better)
-            next_frontier = targets[rows]
+            if ck is not None:
+                next_frontier = ck.relax_round(
+                    cv.out_csr, frontier, values, relax_op, optimize == "max", improved
+                )
+            else:
+                candidates, targets, start_values = relax_pass(
+                    cv, values, frontier, relax, optimize
+                )
+                rows = first_improvements(candidates, targets, start_values, better)
+                next_frontier = targets[rows]
             run.iterations.append(
                 IterationStats.make(
                     push=frontier,

@@ -475,11 +475,14 @@ class GraphDataStructure(abc.ABC):
         internals may override this with a zero-copy export.
         """
         # Imported lazily: repro.compute.pricing imports repro.graph.
-        from repro.compute.kernels import csr_from_rows
+        from repro.compute.kernels import csr_from_pair_rows
 
         n = self.num_nodes
         neigh = self.out_neigh if direction == "out" else self.in_neigh
-        return csr_from_rows((neigh(u) for u in range(n)), n)
+        # Materialize each vertex's row once (Stinger/BA build theirs
+        # per call), then convert all pairs in one bulk np.array.
+        rows = [neigh(u) for u in range(n)]
+        return csr_from_pair_rows(rows, n)
 
     # ------------------------------------------------------------------
     # Analytic compute-phase costs

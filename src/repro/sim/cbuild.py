@@ -1,0 +1,67 @@
+"""Shared build-and-load helper for optional ctypes C kernels.
+
+Two modules compile tiny C sources at runtime -- the scheduler event
+loop (:mod:`repro.sim.ckernel`) and the compute kernels
+(:mod:`repro.compute.ckernels`).  Both follow the same contract, so the
+mechanics live here once:
+
+- the shared object is cached under a filename containing the sha256 of
+  the source, in ``SAGA_BENCH_CKERNEL_DIR`` or the system temp dir, so
+  the compiler runs at most once per source revision per machine;
+- the build goes to a private temp name and is moved into place with
+  ``os.replace`` (atomic), so concurrent builders never load a
+  half-written object;
+- ``-ffp-contract=off`` forbids fused multiply-adds, keeping every IEEE
+  float64 intermediate bit-identical to the Python/numpy twin.
+
+Callers handle failures themselves (no compiler, broken toolchain):
+:func:`load_library` raises and the caller decides between silent
+numpy fallback and a hard error.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+
+#: Environment variable overriding the build cache directory (shared
+#: with the scheduler kernel of PR 2).
+CACHE_DIR_ENV = "SAGA_BENCH_CKERNEL_DIR"
+
+#: Compiler invocation shared by every kernel build.
+CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+
+def cache_dir() -> str:
+    """The directory compiled objects are cached in (created on demand)."""
+    path = os.environ.get(CACHE_DIR_ENV)
+    if not path:
+        path = os.path.join(tempfile.gettempdir(), "saga_bench_ckernel")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def load_library(source: str, stem: str) -> ctypes.CDLL:
+    """Compile ``source`` (or reuse the cached object) and dlopen it.
+
+    ``stem`` names the cached artifact (``<stem>_<hash>.so``).  Raises
+    on any failure -- missing compiler, compile error, unloadable
+    object; callers choose the fallback policy.
+    """
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    so_path = os.path.join(cache_dir(), f"{stem}_{digest}.so")
+    if not os.path.exists(so_path):
+        c_path = so_path[:-3] + ".c"
+        with open(c_path, "w") as handle:
+            handle.write(source)
+        tmp_path = f"{so_path}.tmp{os.getpid()}"
+        subprocess.run(
+            ["cc", *CFLAGS, "-o", tmp_path, c_path],
+            check=True,
+            capture_output=True,
+        )
+        os.replace(tmp_path, so_path)
+    return ctypes.CDLL(so_path)

@@ -28,17 +28,15 @@ runs at most once per source revision per machine.
 from __future__ import annotations
 
 import ctypes
-import hashlib
 import os
-import subprocess
-import tempfile
 from typing import Optional
+
+from repro.sim.cbuild import CACHE_DIR_ENV, load_library
 
 #: Environment variable that disables the compiled kernel entirely.
 DISABLE_ENV = "SAGA_BENCH_NO_CKERNEL"
 
-#: Environment variable overriding the build cache directory.
-CACHE_DIR_ENV = "SAGA_BENCH_CKERNEL_DIR"
+__all__ = ["DISABLE_ENV", "CACHE_DIR_ENV", "get_kernel", "reset"]
 
 #: The kernel keeps its heap in fixed stack arrays of this size.
 MAX_KERNEL_THREADS = 64
@@ -148,40 +146,8 @@ _kernel: Optional[ctypes.CFUNCTYPE] = None
 _tried = False
 
 
-def _cache_dir() -> str:
-    path = os.environ.get(CACHE_DIR_ENV)
-    if not path:
-        path = os.path.join(tempfile.gettempdir(), "saga_bench_ckernel")
-    os.makedirs(path, exist_ok=True)
-    return path
-
-
 def _load():
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    so_path = os.path.join(_cache_dir(), f"saga_event_loop_{digest}.so")
-    if not os.path.exists(so_path):
-        c_path = so_path[:-3] + ".c"
-        with open(c_path, "w") as handle:
-            handle.write(_SOURCE)
-        # Build to a private name, then rename: os.replace is atomic,
-        # so concurrent builders never load a half-written object.
-        tmp_path = f"{so_path}.tmp{os.getpid()}"
-        subprocess.run(
-            [
-                "cc",
-                "-O2",
-                "-fPIC",
-                "-shared",
-                "-ffp-contract=off",
-                "-o",
-                tmp_path,
-                c_path,
-            ],
-            check=True,
-            capture_output=True,
-        )
-        os.replace(tmp_path, so_path)
-    lib = ctypes.CDLL(so_path)
+    lib = load_library(_SOURCE, "saga_event_loop")
     fn = lib.saga_event_loop
     fn.restype = ctypes.c_int64
     fn.argtypes = [

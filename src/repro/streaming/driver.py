@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.algorithms.registry import ALGORITHMS, COMPUTE_MODELS, get_algorithm
 from repro.compute import kernels
+from repro.compute.csrstore import ViewMaintainer
 from repro.compute.pricing import price_compute_run
 from repro.datasets.catalog import DEFAULT_BATCH_SIZE, Dataset
 from repro.errors import ConfigError
@@ -112,6 +113,11 @@ class _InEdgeBuffer:
             self._dst[:n].copy(),
             self._weight[:n].copy(),
         )
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy live slices (valid until the next append/delete)."""
+        n = self._n
+        return self._src[:n], self._dst[:n], self._weight[:n]
 
 
 def _edge_arrays(edges) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -370,6 +376,14 @@ class StreamDriver:
         deg_in = np.zeros(dataset.max_nodes, dtype=np.int64)
         deg_out = np.zeros(dataset.max_nodes, dtype=np.int64)
         incidence = _InEdgeBuffer(dataset.max_nodes)
+        # Incremental CSR maintenance: fold each batch's deltas into
+        # persistent out/in stores instead of regrouping the whole edge
+        # list every batch (full rebuild only when churn is extreme).
+        maintainer = (
+            None if kernels.use_legacy_compute() else ViewMaintainer(dataset.max_nodes)
+        )
+        empty_ids = np.empty(0, dtype=np.int64)
+        empty_wts = np.empty(0, dtype=np.float64)
 
         for batch_index, batch in enumerate(batches):
             record = BatchRecord(
@@ -391,6 +405,8 @@ class StreamDriver:
             record.edges_inserted = len(inserted)
             if __debug__:
                 self._verify_inserted(structure_inserted, len(inserted))
+            ins_src = ins_dst = rem_src = rem_dst = empty_ids
+            ins_weight = empty_wts
             if inserted:
                 ins_src, ins_dst, ins_weight = _edge_arrays(inserted)
                 np.add.at(deg_out, ins_src, 1)
@@ -427,14 +443,25 @@ class StreamDriver:
             n = reference.num_nodes
             record.num_nodes = n
             record.num_edges = reference.num_edges
-            in_edges = incidence.view()
+            in_edges = None
             compute_view = None
-            if n and not kernels.use_legacy_compute():
-                # One columnar CSR build per batch, shared by every
-                # algorithm x model run through the view scope (so
-                # third-party fs_run signatures stay untouched).
+            if maintainer is not None and n:
+                # One incremental CSR update per batch (full rebuild
+                # only under extreme churn), shared by every algorithm
+                # x model run through the view scope (so third-party
+                # fs_run signatures stay untouched).
                 with TRACER.span("compute.view"):
-                    compute_view = kernels.ComputeView.from_edges(*in_edges, n)
+                    compute_view = maintainer.apply(
+                        ins_src,
+                        ins_dst,
+                        ins_weight,
+                        rem_src,
+                        rem_dst,
+                        n,
+                        incidence.arrays,
+                    )
+            elif maintainer is None:
+                in_edges = incidence.view()
 
             # ---- Compute phase: each algorithm under each model ----
             with TRACER.span("compute") as compute_span, kernels.view_scope(

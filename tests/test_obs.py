@@ -375,8 +375,13 @@ class TestInstrumentedRun:
             set(serial_snapshot) - transport_only
             == set(parallel_snapshot) - transport_only
         )
+        wall_time = {
+            "sweep_cell_seconds",
+            "compute_view_build_seconds",
+            "compute_view_update_seconds",
+        }
         for name, family in serial_snapshot.items():
-            if name == "sweep_cell_seconds" or name in transport_only:
+            if name in wall_time or name in transport_only:
                 continue  # wall time necessarily differs between runs
             for labels, value in family.items():
                 other = parallel_snapshot[name][labels]
