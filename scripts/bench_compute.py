@@ -303,6 +303,7 @@ def main(argv=None):
         },
         "python": platform.python_version(),
         "ckernel_loaded": ckernels.loaded(),
+        "compute_threads": ckernels.compute_threads(),
         "algorithms": rows,
         "metrics": collect_metrics(
             batches, dataset.max_nodes, dataset.directed, source

@@ -35,7 +35,8 @@ import time
 
 from repro.datasets import load_dataset
 from repro.graph import ExecutionContext, make_structure
-from repro.sim import ckernel
+from repro.compute import ckernels
+from repro.sim import ckernel, cingest
 from repro.obs import METRICS
 from repro.sim.machine import SCALED_SKYLAKE_GOLD_6142
 from repro.sim.tasks import LEGACY_TASKS_ENV
@@ -210,6 +211,8 @@ def main(argv=None):
         },
         "python": platform.python_version(),
         "ckernel_loaded": ckernel.get_kernel() is not None,
+        "cingest_loaded": cingest.loaded(),
+        "compute_threads": ckernels.compute_threads(),
         "structures": rows,
         "metrics": collect_metrics(batches, dataset.max_nodes, dataset.directed),
         "legacy_seconds": round(legacy_total, 4),

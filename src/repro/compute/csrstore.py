@@ -111,6 +111,20 @@ class DynamicCSR:
         self.dead = 0  # tombstoned slots from row relocations
         self.live = 0  # live edges
 
+    def reset(self) -> None:
+        """Empty the store in place, keeping the allocated heap.
+
+        The next :meth:`rebuild` repacks from scratch exactly as on a
+        fresh instance (it replaces every row array), so a reset store
+        is indistinguishable from a new one -- minus the allocations.
+        """
+        self.starts[:] = 0
+        self.lens[:] = 0
+        self.caps[:] = 0
+        self.used = 0
+        self.dead = 0
+        self.live = 0
+
     # -- full rebuild ---------------------------------------------------
 
     def rebuild(self, keys: np.ndarray, vals: np.ndarray, wts: np.ndarray) -> None:
@@ -277,6 +291,19 @@ class ViewMaintainer:
         self.updates = 0  # incremental applies
         self.compactions = 0
         self.last_dirty_rows = 0
+        self._packed = False
+
+    def reset(self) -> None:
+        """Empty both directions for reuse across repetitions.
+
+        The first ``apply`` after a reset sees ``live == 0`` and takes
+        the full-rebuild path, exactly as on a fresh maintainer, so
+        exported views (and hence every downstream fingerprint) are
+        unchanged.  The cumulative build/update counters survive --
+        they describe the maintainer's whole lifetime.
+        """
+        self.out.reset()
+        self.inc.reset()
         self._packed = False
 
     def _observe(self, metric: str, help_text: str, seconds: float) -> None:

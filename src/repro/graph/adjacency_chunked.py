@@ -19,7 +19,8 @@ import numpy as np
 from repro.errors import StructureError
 from repro.graph.adjacency_shared import _price_vector_ops
 from repro.graph.base import ExecutionContext, GraphDataStructure
-from repro.graph.vectorstore import VectorStore, bulk_ingest, row_layout
+from repro.graph.nativestore import make_vector_store, native_vec_ingest
+from repro.graph.vectorstore import bulk_ingest, row_layout
 from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task, TaskArray
 
 #: Default chunk count; matches the paper's 64 hardware threads.
@@ -79,6 +80,15 @@ class _ChunkedEmitter:
     def ingest_batch(self, batch) -> int:
         """Fused untraced ingest; chunk ids are rebuilt in ``finish``."""
         self._layout = (batch.src, batch.dst)
+        if getattr(self._out, "native", False):
+            positive, self.scanned, self.hit, self.aux = native_vec_ingest(
+                self._out,
+                self._in if self._directed else self._out,
+                batch,
+                self._directed,
+                self._delete,
+            )
+            return positive
         return bulk_ingest(
             self._out,
             self._in if self._directed else self._out,
@@ -162,8 +172,12 @@ class AdjacencyListChunked(GraphDataStructure):
         if chunks < 1:
             raise StructureError(f"chunks must be >= 1, got {chunks}")
         self.chunks = chunks
-        self._out = VectorStore(max_nodes, self.space, "AC.out")
-        self._in = VectorStore(max_nodes, self.space, "AC.in") if directed else None
+        self._out = make_vector_store(max_nodes, self.space, "AC.out", "AC")
+        self._in = (
+            make_vector_store(max_nodes, self.space, "AC.in", "AC")
+            if directed
+            else None
+        )
 
     def chunk_of(self, u: int) -> int:
         """Chunk owning vertex ``u``'s neighbor vector."""

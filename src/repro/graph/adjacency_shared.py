@@ -20,7 +20,8 @@ from repro.graph.base import (
     GraphDataStructure,
     IN_STORE_LOCK_BASE,
 )
-from repro.graph.vectorstore import VectorStore, bulk_ingest, row_layout
+from repro.graph.nativestore import make_vector_store, native_vec_ingest
+from repro.graph.vectorstore import bulk_ingest, row_layout
 from repro.sim.scheduler import DynamicScheduler, ScheduleResult, Task, TaskArray
 
 
@@ -69,6 +70,15 @@ class _SharedEmitter:
         the batch content and are rebuilt vectorized in ``finish``.
         """
         self._layout = (batch.src, batch.dst)
+        if getattr(self._out, "native", False):
+            positive, self.scanned, self.hit, self.aux = native_vec_ingest(
+                self._out,
+                self._in if self._directed else self._out,
+                batch,
+                self._directed,
+                self._delete,
+            )
+            return positive
         return bulk_ingest(
             self._out,
             self._in if self._directed else self._out,
@@ -161,8 +171,12 @@ class AdjacencyListShared(GraphDataStructure):
             cost_model=cost_model or DEFAULT_COST_MODEL,
             address_space=address_space,
         )
-        self._out = VectorStore(max_nodes, self.space, "AS.out")
-        self._in = VectorStore(max_nodes, self.space, "AS.in") if directed else None
+        self._out = make_vector_store(max_nodes, self.space, "AS.out", "AS")
+        self._in = (
+            make_vector_store(max_nodes, self.space, "AS.in", "AS")
+            if directed
+            else None
+        )
 
     # -- mutation ------------------------------------------------------
 

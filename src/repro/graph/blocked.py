@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import StructureError
 from repro.graph.adjacency_chunked import chunk_overhead_array
 from repro.graph.base import ExecutionContext, GraphDataStructure
+from repro.graph.nativestore import make_blocked_store, native_vec_ingest
 from repro.graph.vectorstore import bulk_ingest, row_layout
 from repro.sim.memory import AddressSpace, Region
 from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task, TaskArray
@@ -205,6 +206,16 @@ class _BlockedEmitter:
         count is not recorded (``record_moved=False``).
         """
         self._layout = (batch.src, batch.dst)
+        if getattr(self._out, "native", False):
+            positive, self.scanned, self.hit, self.relocated = native_vec_ingest(
+                self._out,
+                self._in if self._directed else self._out,
+                batch,
+                self._directed,
+                self._delete,
+                record_moved=False,
+            )
+            return positive
         return bulk_ingest(
             self._out,
             self._in if self._directed else self._out,
@@ -297,8 +308,12 @@ class BlockedAdjacency(GraphDataStructure):
         if chunks < 1:
             raise StructureError(f"chunks must be >= 1, got {chunks}")
         self.chunks = chunks
-        self._out = _BlockedStore(max_nodes, self.space, "BA.out")
-        self._in = _BlockedStore(max_nodes, self.space, "BA.in") if directed else None
+        self._out = make_blocked_store(max_nodes, self.space, "BA.out")
+        self._in = (
+            make_blocked_store(max_nodes, self.space, "BA.in")
+            if directed
+            else None
+        )
 
     def chunk_of(self, u: int) -> int:
         return u % self.chunks

@@ -36,6 +36,7 @@ from repro.graph.hashtables import (
     OpenAddressTable,
     RobinHoodTable,
 )
+from repro.graph.nativestore import make_dah_store, native_dah_ingest
 from repro.sim.memory import AddressSpace, Region
 from repro.sim.scheduler import ChunkedScheduler, ScheduleResult, Task, TaskArray
 
@@ -356,6 +357,21 @@ class _DAHEmitter:
         directed = self._directed
         out = self._out
         mirror_store = self._in if directed else out
+        if getattr(out, "native", False):
+            (
+                positive,
+                self.table_probes,
+                self.hash_ops,
+                self.inline_scanned,
+                self.degree_queries,
+                self.flushed,
+                self.rehash_moves,
+                self.hit,
+                self.chunk,
+            ) = native_dah_ingest(
+                out, mirror_store, batch, directed, self._delete
+            )
+            return positive
         src = batch.src.tolist()
         dst = batch.dst.tolist()
         positive = 0
@@ -649,9 +665,11 @@ class DegreeAwareHash(GraphDataStructure):
         if chunks < 1:
             raise StructureError(f"chunks must be >= 1, got {chunks}")
         self.chunks = chunks
-        self._out = _DAHStore(max_nodes, chunks, self.space, "DAH.out")
+        self._out = make_dah_store(max_nodes, chunks, self.space, "DAH.out")
         self._in = (
-            _DAHStore(max_nodes, chunks, self.space, "DAH.in") if directed else None
+            make_dah_store(max_nodes, chunks, self.space, "DAH.in")
+            if directed
+            else None
         )
 
     # -- mutation ------------------------------------------------------

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.base import ExecutionContext, GraphDataStructure
+from repro.graph.nativestore import make_stinger_store, native_stinger_ingest
 from repro.sim.memory import AddressSpace, Region
 from repro.sim.scheduler import (
     NO_LOCK,
@@ -282,6 +283,23 @@ class _StingerEmitter:
     def ingest_batch(self, batch) -> int:
         """Fused untraced ingest: inlined block scans, no outcome boxing."""
         directed = self._directed
+        if getattr(self._out, "native", False):
+            (
+                positive,
+                self.search_chases,
+                self.search_probes,
+                self.space_chases,
+                self.hit,
+                self.new_block,
+                self.lock,
+            ) = native_stinger_ingest(
+                self._out,
+                self._in if directed else self._out,
+                batch,
+                directed,
+                self._delete,
+            )
+            return positive
         out = self._out
         mirror_store = self._in if directed else out
         src = batch.src.tolist()
@@ -547,9 +565,13 @@ class Stinger(GraphDataStructure):
             cost_model=cost_model or DEFAULT_COST_MODEL,
             address_space=address_space,
         )
-        self._out = _StingerStore(max_nodes, self.space, "Stinger.out", self._OUT_LOCK_BASE)
+        self._out = make_stinger_store(
+            max_nodes, self.space, "Stinger.out", self._OUT_LOCK_BASE
+        )
         self._in = (
-            _StingerStore(max_nodes, self.space, "Stinger.in", self._IN_LOCK_BASE)
+            make_stinger_store(
+                max_nodes, self.space, "Stinger.in", self._IN_LOCK_BASE
+            )
             if directed
             else None
         )

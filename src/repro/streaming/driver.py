@@ -244,8 +244,28 @@ class StreamDriver:
         # Simulated clock per timeline track (dataset/structure): batches
         # abut on the track even though each schedule starts at cycle 0.
         sim_clocks: Dict[str, float] = {}
+        if METRICS.enabled:
+            from repro.compute import ckernels
+            from repro.sim import cingest
+
+            METRICS.gauge(
+                "compute_threads", "threads the fused INC round runs on"
+            ).set(float(ckernels.compute_threads()))
+            METRICS.gauge(
+                "ingest_ckernel_loaded",
+                "1 when the compiled batch-ingest kernels are active",
+            ).set(1.0 if cingest.loaded() else 0.0)
+        # One CSR maintainer for the whole run: repetitions reset it in
+        # place instead of reallocating the heap arrays.
+        maintainer = (
+            None if kernels.use_legacy_compute() else ViewMaintainer(dataset.max_nodes)
+        )
         for rep in range(cfg.repetitions):
-            self._run_repetition(dataset, rep, source, ctx, result, sim_clocks)
+            if maintainer is not None:
+                maintainer.reset()
+            self._run_repetition(
+                dataset, rep, source, ctx, result, sim_clocks, maintainer
+            )
         return result
 
     def _observe_update(
@@ -359,6 +379,7 @@ class StreamDriver:
         ctx: ExecutionContext,
         result: StreamResult,
         sim_clocks: Dict[str, float],
+        maintainer: Optional[ViewMaintainer] = None,
     ) -> None:
         cfg = self.config
         batches = make_batches(
@@ -376,12 +397,6 @@ class StreamDriver:
         deg_in = np.zeros(dataset.max_nodes, dtype=np.int64)
         deg_out = np.zeros(dataset.max_nodes, dtype=np.int64)
         incidence = _InEdgeBuffer(dataset.max_nodes)
-        # Incremental CSR maintenance: fold each batch's deltas into
-        # persistent out/in stores instead of regrouping the whole edge
-        # list every batch (full rebuild only when churn is extreme).
-        maintainer = (
-            None if kernels.use_legacy_compute() else ViewMaintainer(dataset.max_nodes)
-        )
         empty_ids = np.empty(0, dtype=np.int64)
         empty_wts = np.empty(0, dtype=np.float64)
 

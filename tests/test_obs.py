@@ -369,8 +369,15 @@ class TestInstrumentedRun:
             assert np.array_equal(serial_arrays[key], parallel_arrays[key])
         # Transport-only families exist only where that transport runs:
         # the parent publishes shm segments for parallel workers but not
-        # for serial in-process runs.  Simulated metrics must agree.
-        transport_only = {"shm_segments_active", "stream_bytes_mapped"}
+        # for serial in-process runs.  Environment gauges describe the
+        # process that ran (forked sweep workers reset the compute
+        # thread pool to serial).  Simulated metrics must agree.
+        transport_only = {
+            "shm_segments_active",
+            "stream_bytes_mapped",
+            "compute_threads",
+            "ingest_ckernel_loaded",
+        }
         assert (
             set(serial_snapshot) - transport_only
             == set(parallel_snapshot) - transport_only
