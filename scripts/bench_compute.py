@@ -47,6 +47,13 @@ import time
 import numpy as np
 
 from repro.algorithms import get_algorithm
+from repro.bench.harness import (
+    DEFAULT_HISTORY,
+    alternating_runs,
+    append_history,
+    batches_of,
+    record_from_bench_json,
+)
 from repro.compute import ckernels
 from repro.compute.csrstore import ViewMaintainer
 from repro.compute.kernels import LEGACY_COMPUTE_ENV, view_scope
@@ -66,14 +73,6 @@ BATCH_SIZE = 1250
 CHURN_FRACTION = 0.2
 ALGORITHM_NAMES = ("BFS", "CC", "MC", "PR", "SSSP", "SSWP")
 MODELS = ("FS", "INC")
-
-
-def batches_of(dataset, batch_size):
-    edges = dataset.edges
-    return [
-        edges.slice(i, min(i + batch_size, len(edges)))
-        for i in range(0, len(edges), batch_size)
-    ]
 
 
 def _feed(digest, run) -> None:
@@ -173,14 +172,18 @@ def run_path(batches, max_nodes, directed, source, legacy):
 
 def bench(batches, max_nodes, directed, source, repeat):
     """Both paths, ``repeat`` cold alternating repetitions, min-of each."""
-    legacy_runs, kernel_runs = [], []
-    for _ in range(repeat):
-        legacy_runs.append(
-            run_path(batches, max_nodes, directed, source, legacy=True)
-        )
-        kernel_runs.append(
-            run_path(batches, max_nodes, directed, source, legacy=False)
-        )
+    runs = alternating_runs(
+        {
+            "legacy": lambda: run_path(
+                batches, max_nodes, directed, source, legacy=True
+            ),
+            "kernel": lambda: run_path(
+                batches, max_nodes, directed, source, legacy=False
+            ),
+        },
+        repeat,
+    )
+    legacy_runs, kernel_runs = runs["legacy"], runs["kernel"]
     for runs, label in ((legacy_runs, "legacy"), (kernel_runs, "kernel")):
         for run in runs:
             if run["digests"] != runs[0]["digests"]:
@@ -269,6 +272,11 @@ def main(argv=None):
         default=3,
         help="cold repetitions per path; the minimum time is reported",
     )
+    parser.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        help="append a history record here ('' disables)",
+    )
     args = parser.parse_args(argv)
 
     dataset = load_dataset(DATASET, seed=0, size_factor=SIZE_FACTOR)
@@ -317,6 +325,10 @@ def main(argv=None):
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
+    if args.history:
+        record = record_from_bench_json(payload, bench="compute")
+        append_history(record, args.history)
+        print(f"appended history record to {args.history}")
     if args.min_speedup:
         reached = sum(1 for row in rows if row["speedup"] >= args.min_speedup)
         if reached < 4:

@@ -33,6 +33,14 @@ import platform
 import sys
 import time
 
+from repro.bench.harness import (
+    DEFAULT_HISTORY,
+    alternating_runs,
+    append_history,
+    batches_of,
+    min_run,
+    record_from_bench_json,
+)
 from repro.datasets import load_dataset
 from repro.graph import ExecutionContext, make_structure
 from repro.compute import ckernels
@@ -48,14 +56,6 @@ BATCH_SIZE = 1250
 CORE_LADDER = (4, 8, 16)
 STRUCTURE_NAMES = ("AS", "AC", "Stinger", "DAH", "BA")
 MACHINE = SCALED_SKYLAKE_GOLD_6142
-
-
-def batches_of(dataset, batch_size):
-    edges = dataset.edges
-    return [
-        edges.slice(i, min(i + batch_size, len(edges)))
-        for i in range(0, len(edges), batch_size)
-    ]
 
 
 def run_path(name, batches, max_nodes, directed, legacy):
@@ -100,15 +100,18 @@ def bench_structure(name, batches, max_nodes, directed, repeat=3):
     alternate so background load hits both equally.  Taking the minimum
     per path filters OS scheduling noise out of the comparison.
     """
-    legacy_runs = []
-    columnar_runs = []
-    for _ in range(repeat):
-        legacy_runs.append(run_path(name, batches, max_nodes, directed, legacy=True))
-        columnar_runs.append(
-            run_path(name, batches, max_nodes, directed, legacy=False)
-        )
-    legacy = min(legacy_runs, key=lambda run: run["seconds"])
-    columnar = min(columnar_runs, key=lambda run: run["seconds"])
+    runs = alternating_runs(
+        {
+            "legacy": lambda: run_path(name, batches, max_nodes, directed, legacy=True),
+            "columnar": lambda: run_path(
+                name, batches, max_nodes, directed, legacy=False
+            ),
+        },
+        repeat,
+    )
+    legacy_runs, columnar_runs = runs["legacy"], runs["columnar"]
+    legacy = min_run(legacy_runs)
+    columnar = min_run(columnar_runs)
     for runs, ref in ((legacy_runs, legacy), (columnar_runs, columnar)):
         for run in runs:
             if run["makespans"] != ref["makespans"] or run["ladder"] != ref["ladder"]:
@@ -178,6 +181,11 @@ def main(argv=None):
         default=3,
         help="cold repetitions per path; the minimum time is reported",
     )
+    parser.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        help="append a history record here ('' disables)",
+    )
     args = parser.parse_args(argv)
 
     dataset = load_dataset(DATASET, seed=0, size_factor=SIZE_FACTOR)
@@ -223,6 +231,10 @@ def main(argv=None):
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
+    if args.history:
+        record = record_from_bench_json(payload, bench="kernels")
+        append_history(record, args.history)
+        print(f"appended history record to {args.history}")
     if args.min_speedup and overall < args.min_speedup:
         print(
             f"FAIL: speedup {overall:.2f}x below required {args.min_speedup}x",

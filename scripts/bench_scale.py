@@ -32,6 +32,11 @@ import time
 
 import numpy as np
 
+from repro.bench.harness import (
+    DEFAULT_HISTORY,
+    append_history,
+    record_from_bench_json,
+)
 from repro.datasets import make_rmat_dataset
 from repro.datasets.catalog import Dataset
 from repro.obs import METRICS
@@ -103,6 +108,11 @@ def main(argv=None):
     )
     parser.add_argument("--verify-edges", type=int, default=VERIFY_EDGES)
     parser.add_argument("--verify-shards", type=int, default=VERIFY_SHARDS)
+    parser.add_argument(
+        "--history",
+        default=DEFAULT_HISTORY,
+        help="append a history record here ('' disables)",
+    )
     args = parser.parse_args(argv)
 
     workdir = args.mmap_dir or tempfile.mkdtemp(prefix="bench_scale_")
@@ -174,6 +184,10 @@ def main(argv=None):
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     print(f"wrote {args.output}")
+    if args.history:
+        record = record_from_bench_json(payload, bench="scale")
+        append_history(record, args.history)
+        print(f"appended history record to {args.history}")
     return 0
 
 

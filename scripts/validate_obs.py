@@ -1,25 +1,37 @@
 """Validate observability outputs: Chrome trace JSON + Prometheus text.
 
-The CI smoke step runs::
+The CI smoke steps run the CLI with ``--trace-out`` / ``--metrics-out``
+and then this script, over three execution paths::
 
+    # in-process
     PYTHONPATH=src python -m repro stream --dataset Talk --quick \
         --trace-out /tmp/t.json --metrics-out /tmp/m.prom
     PYTHONPATH=src python scripts/validate_obs.py /tmp/t.json /tmp/m.prom
 
-and this script checks the files are structurally sound:
+    # sharded update phase: no per-batch sim timeline is recorded
+    PYTHONPATH=src python -m repro stream --quick --shards 2 ...
+    PYTHONPATH=src python scripts/validate_obs.py --no-sim /tmp/t.json /tmp/m.prom
+
+    # multiprocess sweep (worker payloads merged into the parent)
+    SAGA_BENCH_SHM=1 PYTHONPATH=src python -m repro table3 --quick --jobs 2 ...
+    PYTHONPATH=src python scripts/validate_obs.py \
+        --require sweep_cell_seconds /tmp/t.json /tmp/m.prom
+
+Checks:
 
 - the trace is valid JSON whose ``traceEvents`` use only known phase
   types (``B``/``E``/``X``/``M``/``i``), every timed event has
   non-negative ``ts``/``dur``, the timed stream is ``ts``-monotonic,
-  and at least one simulated-timeline track is present alongside the
-  wall-clock lane;
-- the Prometheus dump parses line by line (``# HELP`` / ``# TYPE`` /
-  sample lines with finite values) and contains the per-batch update
-  latency histogram.
+  and (unless ``--no-sim``) at least one simulated-timeline track is
+  present alongside the wall-clock lane;
+- the Prometheus dump parses line by line, every family has both a
+  ``# HELP`` and a ``# TYPE`` header with non-empty text, sample
+  values are finite, and every ``--require``'d family is present.
 
 Stdlib only; exits non-zero with a message on the first violation.
 """
 
+import argparse
 import json
 import math
 import re
@@ -38,7 +50,7 @@ def fail(message):
     raise SystemExit(1)
 
 
-def validate_trace(path):
+def validate_trace(path, require_sim=True):
     with open(path) as handle:
         payload = json.load(handle)
     events = payload.get("traceEvents")
@@ -66,7 +78,7 @@ def validate_trace(path):
             wall_events += 1
     if wall_events == 0:
         fail(f"{path}: no wall-clock events")
-    if sim_events == 0:
+    if require_sim and sim_events == 0:
         fail(f"{path}: no simulated-timeline events")
     print(
         f"validate_obs: {path}: {wall_events} wall + {sim_events} sim "
@@ -79,15 +91,17 @@ def validate_prometheus(path, required=("stream_update_latency_seconds",)):
         lines = handle.read().splitlines()
     if not lines:
         fail(f"{path}: empty")
-    names = set()
+    helped = set()
+    typed = set()
+    sampled = set()
     for number, line in enumerate(lines, 1):
         if not line:
             continue
         if line.startswith("# HELP ") or line.startswith("# TYPE "):
             parts = line.split(" ", 3)
-            if len(parts) < 4 or not parts[2]:
+            if len(parts) < 4 or not parts[2] or not parts[3].strip():
                 fail(f"{path}:{number}: malformed comment line {line!r}")
-            names.add(parts[2])
+            (helped if parts[1] == "HELP" else typed).add(parts[2])
             continue
         if not SAMPLE_RE.match(line):
             fail(f"{path}:{number}: malformed sample line {line!r}")
@@ -99,19 +113,50 @@ def validate_prometheus(path, required=("stream_update_latency_seconds",)):
                 fail(f"{path}:{number}: bad value {value!r}")
             if not math.isfinite(parsed):
                 fail(f"{path}:{number}: non-finite value {value!r}")
+        name = line.split("{", 1)[0].split(" ", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                name = name[: -len(suffix)]
+                break
+        sampled.add(name)
+    for name in sorted(sampled):
+        if name not in helped:
+            fail(f"{path}: family {name} has samples but no # HELP line")
+        if name not in typed:
+            fail(f"{path}: family {name} has samples but no # TYPE line")
     for name in required:
-        if name not in names:
+        if name not in sampled:
             fail(f"{path}: metric {name} missing")
-    print(f"validate_obs: {path}: {len(lines)} lines, {len(names)} families")
+    print(
+        f"validate_obs: {path}: {len(lines)} lines, {len(sampled)} "
+        f"families, HELP+TYPE on every family"
+    )
 
 
 def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
-    if len(argv) != 2:
-        print("usage: validate_obs.py TRACE_JSON METRICS_PROM", file=sys.stderr)
-        return 2
-    validate_trace(argv[0])
-    validate_prometheus(argv[1])
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("metrics", help="Prometheus text dump")
+    parser.add_argument(
+        "--no-sim",
+        action="store_true",
+        help="do not require simulated-timeline events (the sharded "
+             "update path records none)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=None,
+        metavar="METRIC",
+        help="metric family that must be present (repeatable; default "
+             "stream_update_latency_seconds)",
+    )
+    args = parser.parse_args(argv)
+    validate_trace(args.trace, require_sim=not args.no_sim)
+    required = ("stream_update_latency_seconds",)
+    if args.require:
+        required = required + tuple(args.require)
+    validate_prometheus(args.metrics, required=required)
     print("validate_obs: OK")
     return 0
 

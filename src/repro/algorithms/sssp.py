@@ -217,7 +217,7 @@ class SSSP(Algorithm):
                     if frontier.size == 0:
                         break
                     settled_parts.append(frontier)
-                    kernels._observe_frontier(self.name, "FS", frontier.size)
+                    kernels._observe_frontier(run, frontier.size)
                     ev_t, ev_c = pass_events(frontier, heavy=False)
                     run.iterations.append(
                         IterationStats.make(
@@ -241,7 +241,7 @@ class SSSP(Algorithm):
                     continue
                 # Heavy-edge phase: one relaxation pass over the bucket.
                 settled = np.concatenate(settled_parts)
-                kernels._observe_frontier(self.name, "FS", settled.size)
+                kernels._observe_frontier(run, settled.size)
                 ev_t, ev_c = pass_events(settled, heavy=True)
                 run.iterations.append(
                     IterationStats.make(

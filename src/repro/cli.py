@@ -245,6 +245,85 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Live small-scale run whose only artifact is the HTML report.
+
+    Always simulates (no cache): the report's cost-model section needs
+    the per-batch feature rows, and a cache hit would skip the
+    simulation that produces them.  The report itself is written by
+    ``main()``'s teardown, like every other ``--report-out`` run.
+    """
+    algorithms = tuple(
+        name.strip() for name in args.algorithms.split(",") if name.strip()
+    )
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        algorithms=algorithms,
+        models=("FS", "INC"),
+    )
+    result = run_stream(
+        args.dataset,
+        config,
+        seed=args.seed,
+        size_factor=args.size_factor,
+        store=None,
+        jobs=args.jobs,
+    )
+    print(
+        f"{args.dataset} x{args.size_factor}: {result.batches_per_rep} "
+        f"batches of {args.batch_size} across "
+        f"{len(config.structures)} structures, "
+        f"{len(algorithms)} algorithms, FS+INC"
+    )
+    return 0
+
+
+def _write_run_report(args: argparse.Namespace, path: str) -> str:
+    """Assemble the HTML report from whatever this run observed."""
+    from repro.bench.harness import DEFAULT_HISTORY, load_history
+    from repro.obs.baseline import detect_regressions
+    from repro.obs.features import FEATURES
+    from repro.obs.model import fit_from_features
+    from repro.obs.report import write_report
+
+    rows = FEATURES.rows()
+    model = fit_from_features() if rows else None
+    if model is not None and not model.groups:
+        model = None
+    model_out = getattr(args, "model_out", None)
+    if model is not None and model_out:
+        model.save(model_out)
+        print(f"[cost model written to {model_out}]")
+    history_path = getattr(args, "history", None) or DEFAULT_HISTORY
+    history = load_history(history_path)
+    verdicts = detect_regressions(history) if history else None
+    meta = {"command": args.command}
+    for key in (
+        "dataset",
+        "structure",
+        "algorithm",
+        "algorithms",
+        "batch_size",
+        "size_factor",
+        "shards",
+        "jobs",
+    ):
+        value = getattr(args, key, None)
+        if value is not None:
+            meta[key.replace("_", " ")] = value
+    return write_report(
+        path,
+        title=f"SAGA-Bench run report: {args.command}",
+        meta=meta,
+        tracer=TRACER,
+        metrics=METRICS,
+        features=rows,
+        model=model,
+        verdicts=verdicts,
+        history=history or None,
+    )
+
+
 def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     """The experiment-engine flags shared by every subcommand."""
     parser.add_argument(
@@ -291,6 +370,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         metavar="FILE",
         help="write run metrics (batch latency histograms, scheduler and "
              "cache counters, sweep cell stats) in Prometheus text format",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML run report (phase breakdown, "
+             "sweep cells, fitted cost model, bench-history verdicts); "
+             "enables tracing, metrics and per-batch feature capture",
     )
 
 
@@ -386,6 +473,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="generation chunk size (edges held in RAM at once)",
     )
+
+    run_report = sub.add_parser(
+        "report",
+        help="run a small live stream and write a self-contained HTML "
+             "run report (phase breakdown, fitted cost model, bench "
+             "history verdicts); no external assets, no network",
+    )
+    run_report.set_defaults(func=_cmd_report)
+    run_report.add_argument(
+        "--out",
+        dest="report_out",
+        default="report.html",
+        metavar="FILE",
+        help="report path (default report.html)",
+    )
+    run_report.add_argument("--dataset", choices=dataset_names(), default="RMAT")
+    run_report.add_argument("--batch-size", type=int, default=500)
+    run_report.add_argument("--size-factor", type=float, default=0.25)
+    run_report.add_argument("--seed", type=int, default=0)
+    run_report.add_argument(
+        "--algorithms",
+        default="BFS,PR",
+        help="comma-separated compute algorithms to run (default BFS,PR)",
+    )
+    run_report.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="run sweep cells across N worker processes",
+    )
+    run_report.add_argument(
+        "--history",
+        default=None,
+        metavar="FILE",
+        help="bench history to check for regressions "
+             "(default BENCH_history.jsonl when present)",
+    )
+    run_report.add_argument(
+        "--model-out",
+        default=None,
+        metavar="FILE",
+        help="also persist the fitted cost model as versioned JSON",
+    )
     return parser
 
 
@@ -411,21 +541,27 @@ def _sweep_summary() -> Optional[str]:
 
 
 def main(argv=None) -> int:
+    from repro.obs.features import FEATURES
+
     args = build_parser().parse_args(argv)
     profiling = getattr(args, "profile", False)
     trace_out = getattr(args, "trace_out", None)
     events_out = getattr(args, "events_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    tracing = bool(profiling or trace_out or events_out)
+    report_out = getattr(args, "report_out", None)
+    tracing = bool(profiling or trace_out or events_out or report_out)
     if tracing:
         TRACER.reset()
         TRACER.enable(
             keep_events=bool(trace_out or events_out),
             sim_timeline=bool(trace_out),
         )
-    if metrics_out:
+    if metrics_out or report_out:
         METRICS.reset()
         METRICS.enable()
+    if report_out:
+        FEATURES.reset()
+        FEATURES.enable()
     try:
         return args.func(args)
     finally:
@@ -440,6 +576,10 @@ def main(argv=None) -> int:
             if summary:
                 print(summary)
             print(f"[metrics written to {write_prometheus(METRICS, metrics_out)}]")
+        if report_out:
+            print(f"[report written to {_write_run_report(args, report_out)}]")
+            FEATURES.disable()
+        if metrics_out or report_out:
             METRICS.disable()
         if tracing:
             TRACER.disable()

@@ -553,14 +553,34 @@ def as_frontier(affected, num_nodes: int) -> np.ndarray:
     return np.unique(arr[arr < num_nodes])
 
 
-def _observe_frontier(algorithm_name: str, model: str, size: int) -> None:
+def _observe_frontier(run: ComputeRun, size: int) -> None:
+    """Per-round frontier accounting: run totals + optional histogram.
+
+    The run totals (``frontier_rounds`` / ``frontier_vertices``) are
+    the per-batch features the cost-model fitter consumes; they are two
+    integer adds, so they stay on even when observability is off.
+    """
+    run.frontier_rounds += 1
+    run.frontier_vertices += int(size)
     if METRICS.enabled:
         METRICS.histogram(
             "compute_frontier_size",
             "frontier size per compute-kernel round",
-            algorithm=algorithm_name,
-            model=model,
+            algorithm=run.algorithm,
+            model=run.model,
         ).observe(float(size))
+
+
+def _observe_expansion(run: ComputeRun, edges: int) -> None:
+    """Record one round's expanded-edge count (numpy paths only --
+    the fused C rounds never materialize the expansion)."""
+    if METRICS.enabled:
+        METRICS.histogram(
+            "compute_expanded_edges",
+            "edges expanded per compute-kernel round",
+            algorithm=run.algorithm,
+            model=run.model,
+        ).observe(float(edges))
 
 
 def run_incremental_frontier(
@@ -613,7 +633,7 @@ def run_incremental_frontier(
                         f"incremental {algorithm.name} exceeded {max_rounds} "
                         "rounds; the vertex function is probably not convergent"
                     )
-                _observe_frontier(algorithm.name, "INC", frontier.size)
+                _observe_frontier(run, frontier.size)
                 triggered, cas_ops, next_frontier = ck.inc_round(
                     cv, frontier, values, ck_op, epsilon, pin, pr_base, damping, seen
                 )
@@ -637,9 +657,10 @@ def run_incremental_frontier(
                     f"incremental {algorithm.name} exceeded {max_rounds} rounds; "
                     "the vertex function is probably not convergent"
                 )
-            _observe_frontier(algorithm.name, "INC", frontier.size)
+            _observe_frontier(run, frontier.size)
             k = frontier.size
             seg, nbr, nwt = expand_frontier(cv.in_csr, frontier)
+            _observe_expansion(run, nbr.size)
             # Forward deps: reading an in-neighbor that sits earlier in
             # this (ascending, unique) frontier sees its new value.
             position = np.full(n, -1, dtype=np.int64)
@@ -914,7 +935,7 @@ def frontier_relaxation_kernel(
     improved = np.zeros(cv.num_nodes, dtype=np.uint8) if ck is not None else None
     with TRACER.span("compute.kernel", args={"algorithm": algorithm, "model": "FS"}):
         while frontier.size:
-            _observe_frontier(algorithm, "FS", frontier.size)
+            _observe_frontier(run, frontier.size)
             if ck is not None:
                 next_frontier = ck.relax_round(
                     cv.out_csr, frontier, values, relax_op, optimize == "max", improved
@@ -923,6 +944,7 @@ def frontier_relaxation_kernel(
                 candidates, targets, start_values = relax_pass(
                     cv, values, frontier, relax, optimize
                 )
+                _observe_expansion(run, candidates.size)
                 rows = first_improvements(candidates, targets, start_values, better)
                 next_frontier = targets[rows]
             run.iterations.append(

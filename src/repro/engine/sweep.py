@@ -31,6 +31,7 @@ from repro.datasets.catalog import Dataset, load_dataset
 from repro.engine.fingerprint import stream_run_key
 from repro.engine.store import RunStore
 from repro.errors import ConfigError
+from repro.obs.features import FEATURES
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.streaming import shm
@@ -70,13 +71,14 @@ def _obs_flags() -> Optional[dict]:
     None when observability is off; pool workers then skip the
     reset/enable dance entirely and return no payload.
     """
-    if not (TRACER.enabled or METRICS.enabled):
+    if not (TRACER.enabled or METRICS.enabled or FEATURES.enabled):
         return None
     return {
         "trace": TRACER.enabled,
         "keep_events": TRACER.keep_events,
         "sim_timeline": TRACER.sim_timeline,
         "metrics": METRICS.enabled,
+        "features": FEATURES.enabled,
     }
 
 
@@ -105,11 +107,13 @@ def _run_stream_cell(
         TRACER.disable()
         TRACER.reset()
         METRICS.reset()
+        FEATURES.reset()
         if obs["trace"]:
             TRACER.enable(
                 keep_events=obs["keep_events"], sim_timeline=obs["sim_timeline"]
             )
         METRICS.enabled = bool(obs["metrics"])
+        FEATURES.enabled = bool(obs.get("features", False))
     started = time.perf_counter()
     if source is not None and source[0] == "shm":
         _, handle, spec, max_nodes = source
@@ -121,10 +125,11 @@ def _run_stream_cell(
     result = make_driver(config).run(dataset)
     wall = time.perf_counter() - started
     obs_payload = None
-    if obs is not None and (obs["trace"] or obs["metrics"]):
+    if obs is not None and (obs["trace"] or obs["metrics"] or obs.get("features")):
         obs_payload = {
             "trace": TRACER.to_payload(),
             "metrics": METRICS.to_payload(),
+            "features": FEATURES.to_payload(),
         }
     return result, wall, obs_payload
 
@@ -224,6 +229,8 @@ def run_many(
                     obs_payload["trace"],
                     origin=f"{payload[0]}-r{rep}" if rep else None,
                 )
+                if "features" in obs_payload:
+                    FEATURES.absorb(obs_payload["features"])
             if METRICS.enabled:
                 METRICS.histogram(
                     "sweep_cell_seconds",

@@ -21,9 +21,16 @@ flags (on every subcommand) enable them and export on exit:
 - Prometheus text format;
 - JSONL event log (``--events-out``).
 
+On top of the raw streams sit the derived layers: :data:`FEATURES`
+(per-batch feature rows captured by the driver), the cost-model fitter
+(:mod:`repro.obs.model`), the bench-history regression detector
+(:mod:`repro.obs.baseline`), and the self-contained HTML run report
+(:mod:`repro.obs.report`, ``--report-out`` / ``repro report``).
+
 See ``docs/OBSERVABILITY.md`` for capture and reading instructions.
 """
 
+from repro.obs.baseline import Verdict, detect_regressions, self_test
 from repro.obs.export import (
     chrome_trace_events,
     prometheus_text,
@@ -31,6 +38,7 @@ from repro.obs.export import (
     write_jsonl,
     write_prometheus,
 )
+from repro.obs.features import FEATURES, FeatureLog
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -39,20 +47,32 @@ from repro.obs.metrics import (
     METRICS,
     MetricsRegistry,
 )
+from repro.obs.model import FittedCostModel, GroupFit, fit_cost_model, fit_from_features
+from repro.obs.report import render_report, write_report
 from repro.obs.tracer import NULL_SPAN, SpanTracer, TRACER
 
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FEATURES",
+    "FeatureLog",
+    "FittedCostModel",
     "Gauge",
+    "GroupFit",
     "Histogram",
     "METRICS",
     "MetricsRegistry",
     "NULL_SPAN",
     "SpanTracer",
     "TRACER",
+    "Verdict",
     "chrome_trace_events",
+    "detect_regressions",
+    "fit_cost_model",
+    "fit_from_features",
     "prometheus_text",
+    "render_report",
+    "self_test",
     "write_chrome_trace",
     "write_jsonl",
     "write_prometheus",

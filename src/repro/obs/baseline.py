@@ -1,0 +1,208 @@
+"""Noise-aware regression detection over the bench history.
+
+Consumes the ``BENCH_history.jsonl`` records written by
+:mod:`repro.bench.harness` and compares each (bench, workload
+fingerprint) group's **latest** record against the median of a
+trailing window of its predecessors.  A timing regresses only when it
+fails *both* guards:
+
+- **relative threshold** -- the new time exceeds the baseline by more
+  than ``rel_threshold`` (default 25%), so ordinary run-to-run jitter
+  stays quiet;
+- **absolute floor** -- the excess is larger than ``abs_floor``
+  seconds (default 20 ms), so microsecond-scale timings cannot trip
+  the relative guard on scheduler noise.
+
+The median baseline makes the detector robust to a single slow
+predecessor; comparing only within a fingerprint means a workload
+change (different batch size, dataset, churn) starts a fresh baseline
+instead of producing false verdicts.  Verdicts are plain dataclasses
+with a JSON form, machine-readable by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Default guards; tuned so an injected 2x slowdown on any
+#: non-trivial timing is flagged while a bit-identical rerun never is.
+DEFAULT_REL_THRESHOLD = 0.25
+DEFAULT_ABS_FLOOR = 0.02
+DEFAULT_WINDOW = 5
+
+
+@dataclass
+class Verdict:
+    """One regressed timing: the machine-readable finding."""
+
+    bench: str
+    fingerprint: str
+    timing: str
+    current: float
+    baseline: float
+    ratio: float
+    rel_threshold: float
+    abs_floor: float
+    window: int
+    sha: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "bench": self.bench,
+            "fingerprint": self.fingerprint,
+            "timing": self.timing,
+            "current": self.current,
+            "baseline": self.baseline,
+            "ratio": round(self.ratio, 4),
+            "rel_threshold": self.rel_threshold,
+            "abs_floor": self.abs_floor,
+            "window": self.window,
+            "sha": self.sha,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.bench}[{self.fingerprint}] {self.timing}: "
+            f"{self.current:.4f}s vs baseline {self.baseline:.4f}s "
+            f"({self.ratio:.2f}x, threshold {1 + self.rel_threshold:.2f}x)"
+        )
+
+
+def _grouped(history: List[dict]) -> Dict[Tuple[str, str], List[dict]]:
+    groups: Dict[Tuple[str, str], List[dict]] = {}
+    for record in history:
+        key = (str(record.get("bench", "")), str(record.get("fingerprint", "")))
+        groups.setdefault(key, []).append(record)
+    return groups
+
+
+def detect_regressions(
+    history: List[dict],
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+    window: int = DEFAULT_WINDOW,
+) -> List[Verdict]:
+    """Verdicts for the latest record of every (bench, fingerprint).
+
+    ``history`` is :func:`repro.bench.harness.load_history` output (or
+    any list of records in append order).  Groups with no predecessor
+    produce no verdict -- a first measurement has no baseline.
+    """
+    verdicts: List[Verdict] = []
+    for (bench, fingerprint), records in sorted(_grouped(history).items()):
+        if len(records) < 2:
+            continue
+        current = records[-1]
+        trailing = records[-(window + 1) : -1]
+        current_timings = current.get("timings", {})
+        for timing in sorted(current_timings):
+            now = float(current_timings[timing])
+            past = [
+                float(r["timings"][timing])
+                for r in trailing
+                if timing in r.get("timings", {})
+            ]
+            if not past:
+                continue
+            baseline = statistics.median(past)
+            if baseline <= 0:
+                continue
+            if now <= baseline * (1.0 + rel_threshold):
+                continue
+            if now - baseline <= abs_floor:
+                continue
+            verdicts.append(
+                Verdict(
+                    bench=bench,
+                    fingerprint=fingerprint,
+                    timing=timing,
+                    current=now,
+                    baseline=baseline,
+                    ratio=now / baseline,
+                    rel_threshold=rel_threshold,
+                    abs_floor=abs_floor,
+                    window=min(window, len(trailing)),
+                    sha=str(current.get("sha", "")),
+                )
+            )
+    return verdicts
+
+
+def inject_slowdown(record: dict, factor: float = 2.0) -> dict:
+    """A copy of ``record`` with every timing scaled by ``factor``.
+
+    The detector's self-test appends this synthetic record and requires
+    a verdict for it -- proving the pipeline would actually catch a
+    real slowdown of that size.
+    """
+    slowed = json.loads(json.dumps(record))
+    slowed["timings"] = {
+        key: float(value) * factor for key, value in slowed.get("timings", {}).items()
+    }
+    slowed["sha"] = f"{record.get('sha', 'unknown')}-injected-x{factor:g}"
+    return slowed
+
+
+def self_test(
+    history: List[dict],
+    factor: float = 2.0,
+    rel_threshold: float = DEFAULT_REL_THRESHOLD,
+    abs_floor: float = DEFAULT_ABS_FLOOR,
+    window: int = DEFAULT_WINDOW,
+) -> Tuple[bool, str]:
+    """Prove the detector on this history: quiet rerun, loud slowdown.
+
+    For every (bench, fingerprint) group with at least one timing above
+    the absolute floor: appending a bit-identical copy of the latest
+    record must yield **no** verdict for the group, and appending an
+    injected ``factor``x slowdown must yield **at least one**.  Returns
+    ``(ok, message)``.
+    """
+    groups = _grouped(history)
+    if not groups:
+        return False, "history is empty: nothing to self-test"
+    kwargs = dict(
+        rel_threshold=rel_threshold, abs_floor=abs_floor, window=window
+    )
+    tested = 0
+    for (bench, fingerprint), records in sorted(groups.items()):
+        latest = records[-1]
+        timings = latest.get("timings", {})
+        if not any(float(v) > abs_floor for v in timings.values()):
+            continue
+        tested += 1
+        rerun = detect_regressions(history + [json.loads(json.dumps(latest))], **kwargs)
+        rerun = [v for v in rerun if (v.bench, v.fingerprint) == (bench, fingerprint)]
+        if rerun:
+            return False, (
+                f"{bench}[{fingerprint}]: bit-identical rerun raised "
+                f"{len(rerun)} verdict(s): {rerun[0].describe()}"
+            )
+        slowed = detect_regressions(
+            history + [inject_slowdown(latest, factor)], **kwargs
+        )
+        slowed = [
+            v for v in slowed if (v.bench, v.fingerprint) == (bench, fingerprint)
+        ]
+        if not slowed:
+            return False, (
+                f"{bench}[{fingerprint}]: injected {factor:g}x slowdown "
+                "raised no verdict"
+            )
+    if not tested:
+        return False, (
+            "no group has a timing above the absolute floor "
+            f"({abs_floor}s): self-test would be vacuous"
+        )
+    return True, f"self-test passed on {tested} group(s)"
+
+
+def verdicts_to_json(verdicts: List[Verdict]) -> dict:
+    """The machine-readable report CI consumes."""
+    return {
+        "regressions": [v.to_json() for v in verdicts],
+        "count": len(verdicts),
+    }

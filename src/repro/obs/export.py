@@ -180,8 +180,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format."""
     lines: List[str] = []
     for name, kind, help, series in registry.families():
-        if help:
-            lines.append(f"# HELP {name} {_escape(help)}")
+        # Every family gets HELP and TYPE (scrapers and diffing both
+        # want the full header); a family registered without help text
+        # falls back to its own name rather than dropping the line.
+        lines.append(f"# HELP {name} {_escape(help or name)}")
         lines.append(f"# TYPE {name} {kind}")
         for labelset, metric in series:
             if isinstance(metric, Histogram):

@@ -152,6 +152,11 @@ class MetricsRegistry:
                 raise ValueError(
                     f"metric {name!r} already registered as {meta[0]}, not {kind}"
                 )
+            elif not meta[1] and help:
+                # A help-less first touch (e.g. a merge from a worker
+                # that shipped no help text) is upgraded by the first
+                # caller that documents the family.
+                self._meta[name] = (kind, help, meta[2])
             family = self._metrics.setdefault(name, {})
             metric = family.get(key)
             if metric is None:

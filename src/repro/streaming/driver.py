@@ -18,6 +18,7 @@ Batch processing latency = update latency + compute latency
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -31,6 +32,7 @@ from repro.datasets.catalog import DEFAULT_BATCH_SIZE, Dataset
 from repro.errors import ConfigError
 from repro.graph import STRUCTURES, ReferenceGraph, make_structure
 from repro.graph.base import ExecutionContext
+from repro.obs.features import FEATURES
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
@@ -155,6 +157,62 @@ def _with_reverse_interleaved(
     return out_src, out_dst, out_weight
 
 
+def _run_ops_decomposition(
+    runs, deg_in, deg_out, num_nodes: int, cost: CostModel
+) -> Dict[str, float]:
+    """Abstract operation counts of one algorithm x model execution.
+
+    The per-batch feature vector the cost-model fitter consumes (see
+    :mod:`repro.obs.model`): vertex-function evaluations and the
+    in-degree mass they pull, push scans and the out-degree mass they
+    touch, queue pushes, CAS attempts, and whole-array scan accesses.
+    These mirror the terms of
+    :func:`repro.compute.pricing.price_compute_run`, which is linear in
+    exactly these counts, so the composite ``ops`` is the abscissa of
+    the closed-form model ``T = setup + per_op * ops``.  Following the
+    instruction-mix style of refined compute models, ``ops`` weights
+    each component by its documented cost-model constant (the
+    structure-independent part of the pricing terms); the
+    structure-specific traversal scale is what each group's fitted
+    ``per_op`` absorbs.
+    """
+    pull_vertices = push_vertices = 0
+    pull_degree = push_degree = 0
+    pushes = cas_ops = 0
+    rounds = scans = 0
+    for run in runs:
+        scans += run.linear_scans
+        rounds += run.frontier_rounds or run.iteration_count
+        for it in run.iterations:
+            if len(it.pull_vertices):
+                pull_vertices += int(len(it.pull_vertices))
+                pull_degree += int(deg_in[it.pull_vertices].sum())
+            if len(it.push_vertices):
+                push_vertices += int(len(it.push_vertices))
+                push_degree += int(deg_out[it.push_vertices].sum())
+            pushes += int(it.pushes)
+            cas_ops += int(it.cas_ops)
+    scan_ops = scans * int(num_nodes)
+    ops = (
+        pull_vertices * (cost.vertex_task_base + cost.property_write)
+        + pull_degree * (cost.neighbor_visit + cost.probe_element)
+        + push_degree * (cost.cas + cost.probe_element)
+        + pushes * cost.queue_push
+        + scan_ops * cost.probe_element
+    )
+    return {
+        "pull_vertices": pull_vertices,
+        "push_vertices": push_vertices,
+        "pull_degree": pull_degree,
+        "push_degree": push_degree,
+        "pushes": pushes,
+        "cas_ops": cas_ops,
+        "scan_ops": scan_ops,
+        "frontier_rounds": rounds,
+        "ops": float(ops),
+    }
+
+
 @dataclass
 class StreamConfig:
     """What to run and on which simulated machine."""
@@ -251,6 +309,10 @@ class StreamDriver:
             METRICS.gauge(
                 "compute_threads", "threads the fused INC round runs on"
             ).set(float(ckernels.compute_threads()))
+            METRICS.gauge(
+                "ckernel_loaded",
+                "1 when the compiled compute kernels are active",
+            ).set(1.0 if ckernels.loaded() else 0.0)
             METRICS.gauge(
                 "ingest_ckernel_loaded",
                 "1 when the compiled batch-ingest kernels are active",
@@ -435,10 +497,12 @@ class StreamDriver:
                     )
                 incidence.append(ins_src, ins_dst, ins_weight)
             removed: list = []
+            churn_attempted = 0
             if cfg.churn_fraction > 0.0 and len(batch):
                 victims = batch.slice(
                     0, max(1, int(len(batch) * cfg.churn_fraction))
                 )
+                churn_attempted = len(victims)
                 self._delete_structures(
                     structures, victims, dataset, ctx, record, sim_clocks
                 )
@@ -458,6 +522,33 @@ class StreamDriver:
             n = reference.num_nodes
             record.num_nodes = n
             record.num_edges = reference.num_edges
+            # ---- Per-batch feature capture (cost-model substrate) ----
+            features_on = FEATURES.enabled
+            base_row: Dict[str, object] = {}
+            if features_on:
+                live_out = deg_out[:n]
+                base_row = {
+                    "dataset": dataset.name,
+                    "rep": rep,
+                    "batch": batch_index,
+                    "batch_edges": record.edges_attempted,
+                    "edges_inserted": record.edges_inserted,
+                    "edges_deleted": len(removed),
+                    "churn_fraction": cfg.churn_fraction,
+                    "num_nodes": n,
+                    "num_edges": record.num_edges,
+                    "mean_out_degree": float(live_out.mean()) if n else 0.0,
+                    "max_out_degree": int(live_out.max()) if n else 0,
+                }
+                update_ops = record.edges_attempted + churn_attempted
+                for structure_name, cycles in record.update_cycles.items():
+                    FEATURES.record(
+                        phase="update",
+                        structure=structure_name,
+                        t_seconds=ctx.seconds(cycles),
+                        ops=update_ops,
+                        **base_row,
+                    )
             in_edges = None
             compute_view = None
             if maintainer is not None and n:
@@ -485,6 +576,7 @@ class StreamDriver:
                 for alg_name in cfg.algorithms:
                     algorithm = get_algorithm(alg_name)
                     for model in cfg.models:
+                        wall_start = time.perf_counter() if features_on else 0.0
                         if model == "FS":
                             run = algorithm.fs_run(
                                 reference, source=source, in_edges=in_edges
@@ -515,6 +607,13 @@ class StreamDriver:
                         record.compute_iterations[(alg_name, model)] = sum(
                             r.iteration_count for r in runs
                         )
+                        ops_row = None
+                        wall_seconds = 0.0
+                        if features_on:
+                            wall_seconds = time.perf_counter() - wall_start
+                            ops_row = _run_ops_decomposition(
+                                runs, deg_in, deg_out, n, ctx.cost_model
+                            )
                         for structure_name in cfg.structures:
                             cycles = 0.0
                             for priced_run in runs:
@@ -531,6 +630,17 @@ class StreamDriver:
                                 (alg_name, model, structure_name)
                             ] = cycles
                             compute_span.add_cycles(cycles)
+                            if ops_row is not None:
+                                FEATURES.record(
+                                    phase="compute",
+                                    structure=structure_name,
+                                    algorithm=alg_name,
+                                    model=model,
+                                    t_seconds=ctx.seconds(cycles),
+                                    wall_seconds=wall_seconds,
+                                    **ops_row,
+                                    **base_row,
+                                )
                             if METRICS.enabled:
                                 METRICS.histogram(
                                     "stream_compute_latency_seconds",

@@ -1,0 +1,172 @@
+"""Tests for the bench harness, history records, and the detector.
+
+Covers the record schema (fingerprinting, timing flattening from real
+committed ``BENCH_*.json`` snapshots, env capture), append/load
+robustness, and the regression detector's acceptance contract: an
+injected 2x slowdown is flagged, a bit-identical rerun stays quiet,
+and sub-floor timings cannot trip the relative guard on noise.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import (
+    HISTORY_SCHEMA_VERSION,
+    append_history,
+    load_history,
+    make_record,
+    record_from_bench_json,
+    workload_fingerprint,
+)
+from repro.obs.baseline import (
+    detect_regressions,
+    inject_slowdown,
+    self_test,
+    verdicts_to_json,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SNAPSHOTS = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def _record(bench="kernels", seconds=1.0, workload=None, **extra_timings):
+    timings = {"total_seconds": seconds}
+    timings.update(extra_timings)
+    return make_record(
+        bench,
+        workload if workload is not None else {"dataset": "RMAT", "batch": 500},
+        timings,
+        sha="abc123",
+        ts=1700000000.0,
+    )
+
+
+def test_fingerprint_tracks_workload_not_timings():
+    a = workload_fingerprint({"dataset": "RMAT", "batch": 500})
+    b = workload_fingerprint({"batch": 500, "dataset": "RMAT"})
+    c = workload_fingerprint({"dataset": "RMAT", "batch": 1000})
+    assert a == b  # key order does not matter
+    assert a != c  # the workload does
+    assert len(a) == 16
+    r1 = _record(seconds=1.0)
+    r2 = _record(seconds=99.0)
+    assert r1["fingerprint"] == r2["fingerprint"]
+
+
+def test_record_schema():
+    record = _record()
+    assert record["schema"] == HISTORY_SCHEMA_VERSION
+    assert record["bench"] == "kernels"
+    assert record["sha"] == "abc123"
+    assert record["timings"] == {"total_seconds": 1.0}
+    json.dumps(record)  # JSON-safe end to end
+
+
+@pytest.mark.skipif(not SNAPSHOTS, reason="no committed BENCH_*.json")
+def test_flatten_committed_snapshots():
+    for path in SNAPSHOTS:
+        payload = json.loads(path.read_text())
+        record = record_from_bench_json(payload, bench=path.stem)
+        assert record["timings"], path
+        for key, value in record["timings"].items():
+            assert key.endswith("seconds"), key
+            assert not key.startswith("metrics"), key
+            assert isinstance(value, float)
+        # List rows are labeled by their identifying field, not index.
+        if "structures" in payload:
+            assert any(".AS." in key or ".AC." in key
+                       for key in record["timings"])
+        # Env facts ride along when the payload carries them.
+        if "python" in payload:
+            assert record["env"]["python"] == payload["python"]
+
+
+def test_append_and_load_roundtrip(tmp_path):
+    path = tmp_path / "history.jsonl"
+    assert load_history(path) == []  # missing file reads as empty
+    first = _record(seconds=1.0)
+    second = _record(seconds=1.1)
+    append_history(first, path)
+    append_history(second, path)
+    # Corrupt and foreign-schema lines are skipped, not fatal.
+    with open(path, "a") as handle:
+        handle.write("{not json\n")
+        handle.write(json.dumps({"schema": HISTORY_SCHEMA_VERSION + 1}) + "\n")
+    history = load_history(path)
+    assert [r["timings"]["total_seconds"] for r in history] == [1.0, 1.1]
+
+
+def test_detector_flags_injected_slowdown_and_stays_quiet_on_rerun():
+    history = [_record(seconds=1.0 + 0.01 * i) for i in range(5)]
+    # Bit-identical rerun of the latest: quiet.
+    assert detect_regressions(history + [history[-1]]) == []
+    # Injected 2x slowdown: flagged, with sane arithmetic.
+    slowed = inject_slowdown(history[-1], factor=2.0)
+    verdicts = detect_regressions(history + [slowed])
+    assert len(verdicts) == 1
+    verdict = verdicts[0]
+    assert verdict.timing == "total_seconds"
+    assert verdict.ratio == pytest.approx(2.08, rel=0.05)
+    assert verdict.sha.endswith("-injected-x2")
+    report = verdicts_to_json(verdicts)
+    assert report["count"] == 1
+    assert report["regressions"][0]["timing"] == "total_seconds"
+
+
+def test_detector_needs_both_guards():
+    # Relative blow-up on a microsecond timing: under the absolute
+    # floor, so scheduler noise on tiny benches cannot page anyone.
+    tiny = [_record(seconds=0.001) for _ in range(3)]
+    tiny.append(_record(seconds=0.003))  # 3x but only +2ms
+    assert detect_regressions(tiny) == []
+    # Large absolute excess but under the relative threshold: quiet.
+    slow_drift = [_record(seconds=10.0) for _ in range(3)]
+    slow_drift.append(_record(seconds=11.0))  # +1s but only 1.10x
+    assert detect_regressions(slow_drift) == []
+
+
+def test_detector_baseline_is_median_of_window():
+    # One slow outlier among the predecessors must not drag the
+    # baseline up and mask a real regression.
+    history = [
+        _record(seconds=1.0),
+        _record(seconds=5.0),  # outlier
+        _record(seconds=1.0),
+        _record(seconds=1.0),
+        _record(seconds=1.0),
+        _record(seconds=2.1),  # 2.1x the median (1.0)
+    ]
+    verdicts = detect_regressions(history)
+    assert len(verdicts) == 1
+    assert verdicts[0].baseline == pytest.approx(1.0)
+
+
+def test_first_measurement_has_no_baseline():
+    assert detect_regressions([_record()]) == []
+    # Different fingerprints never compare against each other.
+    a = _record(workload={"batch": 500})
+    b = _record(workload={"batch": 1000}, seconds=10.0)
+    assert detect_regressions([a, b]) == []
+
+
+def test_self_test_contract():
+    ok, message = self_test([_record(seconds=1.0)])
+    assert ok, message
+    # Empty history and vacuous (all-sub-floor) histories both fail
+    # loudly instead of pretending the detector was proven.
+    ok, message = self_test([])
+    assert not ok and "empty" in message
+    ok, message = self_test([_record(seconds=0.001)])
+    assert not ok and "vacuous" in message
+
+
+@pytest.mark.skipif(not SNAPSHOTS, reason="no committed BENCH_*.json")
+def test_self_test_on_committed_snapshots():
+    history = [
+        record_from_bench_json(json.loads(path.read_text()), bench=path.stem)
+        for path in SNAPSHOTS
+    ]
+    ok, message = self_test(history)
+    assert ok, message
