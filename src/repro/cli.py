@@ -174,10 +174,56 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _tuner_from_args(args: argparse.Namespace):
+    """A TunerConfig honoring ``--model-in`` plus the env knobs."""
+    from repro.streaming import TunerConfig
+
+    model_in = getattr(args, "model_in", None)
+    if model_in:
+        return TunerConfig.from_env(model_path=model_in)
+    return TunerConfig.from_env()
+
+
+def _run_adaptive_stream(args: argparse.Namespace, size_factor: float):
+    """One uncached adaptive run (the online tuner is stateful)."""
+    from repro.datasets import load_dataset
+    from repro.streaming import make_driver
+
+    config = StreamConfig(
+        batch_size=args.batch_size,
+        structures=("adaptive",),
+        models=("adaptive",),
+        algorithms=(args.algorithm,),
+        autotune=_tuner_from_args(args),
+        progress=print if getattr(args, "verbose", False) else None,
+    )
+    dataset = load_dataset(args.dataset, seed=args.seed, size_factor=size_factor)
+    driver = make_driver(config)
+    return driver.run(dataset), driver
+
+
 def _cmd_stream(args: argparse.Namespace) -> int:
     size_factor = args.size_factor
     if args.quick and size_factor == 1.0:
         size_factor = 0.1
+    if args.adaptive:
+        result, driver = _run_adaptive_stream(args, size_factor)
+        update = result.update_latency("adaptive")[0]
+        compute = result.compute_latency(args.algorithm, "adaptive", "adaptive")[0]
+        decisions = driver.decision_log["decisions"]
+        print(f"{args.dataset} adaptive, {args.algorithm}: "
+              f"{result.batches_per_rep} batches")
+        print(f"{'batch':>5s} {'structure':>9s} {'reason':>8s} "
+              f"{'update(ms)':>11s} {'compute(ms)':>11s}")
+        for index in range(result.batches_per_rep):
+            entry = decisions[index]
+            print(f"{index:>5d} {entry['structure']:>9s} "
+                  f"{entry['reason']:>8s} {update[index] * 1e3:>11.3f} "
+                  f"{compute[index] * 1e3:>11.3f}")
+        summary = driver.decision_log["summary"]
+        print(f"[autotune] {summary['switches']} switches, "
+              f"est regret {summary['est_regret_seconds'] * 1e3:.3f} ms")
+        return 0
     config = StreamConfig(
         batch_size=args.batch_size,
         structures=(args.structure,),
@@ -223,25 +269,42 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     print(f"{dataset.spec.name}: {len(dataset.edges):,} edges "
           f"({transport}) generated in {generated:.1f}s")
 
-    config = StreamConfig(
-        batch_size=args.batch_size,
-        structures=(args.structure,),
-        algorithms=(args.algorithm,),
-        models=("INC",),
-        repetitions=1,
-        shards=args.shards,
-    )
+    if args.adaptive:
+        config = StreamConfig(
+            batch_size=args.batch_size,
+            structures=("adaptive",),
+            models=("adaptive",),
+            algorithms=(args.algorithm,),
+            repetitions=1,
+            autotune=_tuner_from_args(args),
+        )
+        label = f"adaptive/{args.algorithm}"
+        combo = (args.algorithm, "adaptive", "adaptive")
+    else:
+        config = StreamConfig(
+            batch_size=args.batch_size,
+            structures=(args.structure,),
+            algorithms=(args.algorithm,),
+            models=("INC",),
+            repetitions=1,
+            shards=args.shards,
+        )
+        label = f"{args.structure}/{args.algorithm} INC, shards={args.shards}"
+        combo = (args.algorithm, "INC", args.structure)
     started = time.time()
-    result = make_driver(config).run(dataset)
+    driver = make_driver(config)
+    result = driver.run(dataset)
     simulated = time.time() - started
-    throughput = result.sustainable_throughput(
-        args.algorithm, "INC", args.structure
-    )
+    throughput = result.sustainable_throughput(*combo)
     rate = len(dataset.edges) / simulated if simulated > 0 else 0.0
-    print(f"{args.structure}/{args.algorithm} INC, shards={args.shards}: "
+    print(f"{label}: "
           f"{result.batches_per_rep} batches of {args.batch_size:,} "
           f"simulated in {simulated:.1f}s wall ({rate:,.0f} edges/s)")
     print(f"sustained simulated ingest: {throughput:,.0f} edges/s")
+    if args.adaptive:
+        summary = driver.decision_log["summary"]
+        print(f"[autotune] {summary['switches']} switches over "
+              f"{summary['batches']} batches")
     return 0
 
 
@@ -278,6 +341,105 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    """Run a (regime-shifting) stream under the online auto-tuner.
+
+    Uncached by design: the tuner refines its cost model online, so a
+    cache replay would skip exactly the adaptation being demonstrated.
+    ``--compare`` also runs the full static matrix on the same stream
+    and grades the adaptive total against every static combination and
+    the per-batch oracle.
+    """
+    from repro.datasets import load_dataset
+    from repro.streaming import StreamConfig as SC, StreamDriver, make_driver
+    from repro.streaming.autotune import (
+        adaptive_total_seconds,
+        oracle_total_seconds,
+        static_combo_totals,
+    )
+    from repro.streaming.driver import ALL_STRUCTURES
+
+    schedule = None
+    if args.batch_schedule:
+        schedule = tuple(
+            int(size) for size in args.batch_schedule.split(",") if size.strip()
+        )
+    algorithms = tuple(
+        name.strip() for name in args.algorithms.split(",") if name.strip()
+    )
+    dataset = load_dataset(
+        args.dataset, seed=args.seed, size_factor=args.size_factor
+    )
+    config = SC(
+        batch_size=args.batch_size,
+        structures=("adaptive",),
+        models=("adaptive",),
+        algorithms=algorithms,
+        churn_fraction=args.churn_fraction,
+        batch_schedule=schedule,
+        autotune=_tuner_from_args(args),
+    )
+    driver = make_driver(config)
+    result = driver.run(dataset)
+    adaptive_seconds = adaptive_total_seconds(result)
+    decisions = driver.decision_log["decisions"]
+    summary = driver.decision_log["summary"]
+    print(f"{args.dataset} adaptive over {result.batches_per_rep} batches "
+          f"({len(algorithms)} algorithms)")
+    print(f"{'batch':>5s} {'edges':>7s} {'structure':>9s} {'reason':>8s} "
+          f"{'pred(ms)':>9s} {'actual(ms)':>11s}")
+    attempted = result.edges_attempted[0]
+    for entry in decisions:
+        if entry["rep"] != 0:
+            break
+        print(f"{entry['batch']:>5d} {attempted[entry['batch']]:>7d} "
+              f"{entry['structure']:>9s} {entry['reason']:>8s} "
+              f"{entry['predicted_seconds'] * 1e3:>9.3f} "
+              f"{entry['actual_seconds'] * 1e3:>11.3f}")
+    print(f"adaptive total: {adaptive_seconds * 1e3:.3f} ms simulated "
+          f"({summary['switches']} switches, migration "
+          f"{summary['migration_seconds'] * 1e3:.3f} ms, est regret "
+          f"{summary['est_regret_seconds'] * 1e3:.3f} ms)")
+    if args.model_out and driver.controller is not None:
+        from repro.obs.features import FEATURES
+        from repro.obs.model import fit_from_features
+
+        if FEATURES.enabled and FEATURES.rows():
+            fit_from_features(
+                source={"command": "autotune", "dataset": args.dataset}
+            ).save(args.model_out)
+            print(f"[cost model written to {args.model_out}]")
+        else:
+            print("[--model-out needs --report-out (feature capture); "
+                  "no model written]")
+    if not args.compare:
+        return 0
+    static_config = SC(
+        batch_size=args.batch_size,
+        structures=ALL_STRUCTURES,
+        algorithms=algorithms,
+        models=("FS", "INC"),
+        churn_fraction=args.churn_fraction,
+        batch_schedule=schedule,
+    )
+    static = StreamDriver(static_config).run(dataset)
+    totals = static_combo_totals(static)
+    oracle = oracle_total_seconds(static)
+    print(f"{'combination':>14s} {'total(ms)':>10s} {'vs adaptive':>12s}")
+    for (structure, model), seconds in sorted(totals.items(), key=lambda kv: kv[1]):
+        ratio = seconds / adaptive_seconds if adaptive_seconds > 0 else 0.0
+        print(f"{structure + '/' + model:>14s} {seconds * 1e3:>10.3f} "
+              f"{ratio:>11.2f}x")
+    ranked = sorted(totals.values())
+    median_static = ranked[len(ranked) // 2]
+    print(f"{'oracle':>14s} {oracle * 1e3:>10.3f} "
+          f"{oracle / adaptive_seconds if adaptive_seconds > 0 else 0.0:>11.2f}x")
+    print(f"adaptive vs median static: "
+          f"{adaptive_seconds / median_static:.3f}x, vs oracle: "
+          f"{adaptive_seconds / oracle if oracle > 0 else 0.0:.3f}x")
+    return 0
+
+
 def _write_run_report(args: argparse.Namespace, path: str) -> str:
     """Assemble the HTML report from whatever this run observed."""
     from repro.bench.harness import DEFAULT_HISTORY, load_history
@@ -285,6 +447,8 @@ def _write_run_report(args: argparse.Namespace, path: str) -> str:
     from repro.obs.features import FEATURES
     from repro.obs.model import fit_from_features
     from repro.obs.report import write_report
+
+    from repro.streaming import autotune
 
     rows = FEATURES.rows()
     model = fit_from_features() if rows else None
@@ -321,6 +485,25 @@ def _write_run_report(args: argparse.Namespace, path: str) -> str:
         model=model,
         verdicts=verdicts,
         history=history or None,
+        autotune=autotune.LAST_DECISION_LOG,
+    )
+
+
+def _add_adaptive_args(parser: argparse.ArgumentParser) -> None:
+    """The auto-tuner flags shared by stream/scale/autotune."""
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="let the online auto-tuner pick (structure, model) per "
+             "batch, migrating the live structure when the predicted "
+             "savings beat the migration cost (--structure is ignored)",
+    )
+    parser.add_argument(
+        "--model-in",
+        default=None,
+        metavar="FILE",
+        help="warm-start the auto-tuner from a persisted cost model "
+             "(written by repro report --model-out)",
     )
 
 
@@ -434,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(partition-parallel; algorithm results stay bit-identical)",
     )
     stream.add_argument("--verbose", action="store_true")
+    _add_adaptive_args(stream)
     _add_engine_args(stream)
 
     scale = sub.add_parser(
@@ -473,6 +657,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="generation chunk size (edges held in RAM at once)",
     )
+    _add_adaptive_args(scale)
+
+    autotune = sub.add_parser(
+        "autotune",
+        help="run a (regime-shifting) stream under the online auto-tuner "
+             "and print its per-batch decisions; --compare grades it "
+             "against every static combination and the per-batch oracle",
+    )
+    autotune.set_defaults(func=_cmd_autotune, adaptive=True)
+    autotune.add_argument("--dataset", choices=dataset_names(), default="RMAT")
+    autotune.add_argument("--batch-size", type=int, default=1000)
+    autotune.add_argument(
+        "--batch-schedule",
+        default=None,
+        metavar="N,N,...",
+        help="cycled per-batch sizes overriding --batch-size (a "
+             "regime-shifting stream, e.g. 500,500,4000,4000)",
+    )
+    autotune.add_argument(
+        "--algorithms",
+        default="BFS,PR",
+        help="comma-separated compute algorithms to run (default BFS,PR)",
+    )
+    autotune.add_argument("--seed", type=int, default=0)
+    autotune.add_argument("--size-factor", type=float, default=0.25)
+    autotune.add_argument("--churn-fraction", type=float, default=0.0)
+    autotune.add_argument(
+        "--model-in",
+        default=None,
+        metavar="FILE",
+        help="warm-start the auto-tuner from a persisted cost model",
+    )
+    autotune.add_argument(
+        "--model-out",
+        default=None,
+        metavar="FILE",
+        help="persist the cost model refined by this run (needs "
+             "--report-out, which enables feature capture)",
+    )
+    autotune.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the full static matrix on the same stream and "
+             "print every combination's total and the oracle",
+    )
+    _add_engine_args(autotune)
 
     run_report = sub.add_parser(
         "report",

@@ -103,6 +103,18 @@ def describe_stream_config(config: StreamConfig) -> dict:
     }
     if config.shards != 1:
         description["shards"] = config.shards
+    # Adaptive-mode fields follow the shards rule: keyed only when set,
+    # so every pre-autotuner fingerprint stays stable.  (The CLI runs
+    # adaptive streams uncached -- the online tuner is stateful -- but
+    # the key must still be well-defined for any caller that caches.)
+    if config.batch_schedule is not None:
+        description["batch_schedule"] = list(config.batch_schedule)
+    if config.candidate_structures is not None:
+        description["candidate_structures"] = list(config.candidate_structures)
+    if config.candidate_models is not None:
+        description["candidate_models"] = list(config.candidate_models)
+    if config.autotune is not None:
+        description["autotune"] = canonical(config.autotune)
     return description
 
 

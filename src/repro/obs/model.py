@@ -142,16 +142,27 @@ class FittedCostModel:
         try:
             return self.groups[key]
         except KeyError:
-            raise ConfigError(f"cost model has no group {key!r}") from None
+            available = ", ".join(
+                "/".join(part for part in k if part) for k in sorted(self.groups)
+            ) or "none (empty model)"
+            raise ConfigError(
+                f"cost model has no group {key!r}; "
+                f"available groups: {available}"
+            ) from None
 
     def predict(
         self,
         phase: str,
-        ops: float,
         structure: str,
         algorithm: str = "",
         model: str = "",
+        ops: float = 0.0,
     ) -> float:
+        """Predicted seconds of one phase execution costing ``ops``.
+
+        The auto-tuner's entry point: group lookup (with the friendly
+        missing-group error) plus the group's affine prediction.
+        """
         return self.group(phase, structure, algorithm, model).predict(ops)
 
     def structures(self) -> List[str]:
@@ -225,8 +236,10 @@ class FittedCostModel:
         schema = payload.get("schema")
         if schema != MODEL_SCHEMA_VERSION:
             raise ConfigError(
-                f"cost-model schema {schema!r} unsupported "
-                f"(expected {MODEL_SCHEMA_VERSION})"
+                f"cost-model schema {schema!r} unsupported (this build "
+                f"reads schema {MODEL_SCHEMA_VERSION}); re-fit the model "
+                f"with `repro report --model-out` or scripts/ of this "
+                f"checkout instead of reusing one from another version"
             )
         model = cls(source=dict(payload.get("source", {})))
         for entry in payload.get("groups", []):

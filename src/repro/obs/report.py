@@ -456,6 +456,71 @@ def _verdict_section(verdicts) -> str:
     )
 
 
+def _autotune_section(autotune: Optional[dict]) -> str:
+    if not autotune or not autotune.get("decisions"):
+        return _section(
+            "Auto-tuner",
+            '<p class="note">Not an adaptive run: use '
+            "structures=('adaptive',) (repro autotune, or --adaptive on "
+            "stream/scale) to populate this section.</p>",
+        )
+    summary = autotune.get("summary", {})
+    decisions = autotune["decisions"]
+    predicted = [float(d.get("predicted_seconds", 0.0)) for d in decisions]
+    actual = [float(d.get("actual_seconds", 0.0)) for d in decisions]
+    body = (
+        "<p class=\"subtitle\">Per-batch (structure, model) decisions of "
+        f"the online auto-tuner over {_esc(autotune.get('dataset', '?'))}: "
+        f"{summary.get('batches', len(decisions))} batches, "
+        f"{summary.get('switches', 0)} live migrations costing "
+        f"{_fmt_seconds(float(summary.get('migration_seconds', 0.0)))}, "
+        "estimated regret vs the best candidate "
+        f"{_fmt_seconds(float(summary.get('est_regret_seconds', 0.0)))}.</p>"
+    )
+    if len(actual) >= 2:
+        body += (
+            '<div class="legend">'
+            '<span><span class="swatch" '
+            'style="background:var(--series-1)"></span>actual</span>'
+            '<span><span class="swatch" '
+            'style="background:var(--series-2)"></span>predicted (dot: '
+            "last)</span></div>"
+            f"<figure>{_sparkline(actual, width=420)}"
+            "<figcaption>actual per-batch latency</figcaption></figure>"
+            f"<figure>{_sparkline(predicted, width=420)}"
+            "<figcaption>predicted per-batch latency</figcaption></figure>"
+        )
+    switch_rows = [
+        d for d in decisions
+        if d.get("reason") in ("switch", "explore", "forced", "start")
+        or float(d.get("migration_seconds", 0.0)) > 0.0
+    ]
+    rows = "".join(
+        f"<tr><td class=\"num\">{int(d.get('rep', 0))}</td>"
+        f"<td class=\"num\">{int(d.get('batch', 0))}</td>"
+        f"<td>{_esc(d.get('structure', ''))}</td>"
+        f"<td>{_esc(d.get('reason', ''))}</td>"
+        f"<td class=\"num\">"
+        f"{_fmt_seconds(float(d.get('predicted_seconds', 0.0)))}</td>"
+        f"<td class=\"num\">"
+        f"{_fmt_seconds(float(d.get('actual_seconds', 0.0)))}</td>"
+        f"<td class=\"num\">"
+        f"{_fmt_seconds(float(d.get('migration_seconds', 0.0)))}</td></tr>"
+        for d in switch_rows
+    )
+    if rows:
+        body += (
+            "<p class=\"subtitle\">Decisions that placed or moved the live "
+            "structure (steady-state holds omitted).</p>"
+            '<table><thead><tr><th class="num">rep</th>'
+            '<th class="num">batch</th><th>structure</th><th>reason</th>'
+            '<th class="num">predicted</th><th class="num">actual</th>'
+            '<th class="num">migration</th></tr></thead>'
+            f"<tbody>{rows}</tbody></table>"
+        )
+    return _section("Auto-tuner", body)
+
+
 def _sparkline(values: Sequence[float], width: int = 140, height: int = 28) -> str:
     if len(values) < 2:
         return ""
@@ -529,6 +594,7 @@ def render_report(
     model=None,
     verdicts=None,
     history: Optional[List[dict]] = None,
+    autotune: Optional[dict] = None,
 ) -> str:
     """The full report as one self-contained HTML string.
 
@@ -540,6 +606,7 @@ def render_report(
         _meta_section(meta or {}, metrics),
         _phase_section(tracer),
         _model_section(model, features),
+        _autotune_section(autotune),
         _sweep_section(metrics),
         _verdict_section(verdicts),
         _history_section(history),

@@ -12,7 +12,7 @@ from in-RAM, memory-mapped, or shared-memory edge arrays, and
 partition-parallel (:mod:`~repro.streaming.sharded`) simulation.
 """
 
-from repro.streaming.batching import BatchView, make_batches
+from repro.streaming.batching import BatchView, batch_count, make_batches
 from repro.streaming.driver import (
     ALL_ALGORITHMS,
     ALL_STRUCTURES,
@@ -21,6 +21,11 @@ from repro.streaming.driver import (
     StreamDriver,
     make_driver,
 )
+from repro.streaming.autotune import (
+    AdaptiveController,
+    AdaptiveStreamDriver,
+    TunerConfig,
+)
 from repro.streaming.results import (
     RESULT_SCHEMA_VERSION,
     BatchRecord,
@@ -28,8 +33,11 @@ from repro.streaming.results import (
 )
 
 __all__ = [
+    "AdaptiveController",
+    "AdaptiveStreamDriver",
     "ALL_ALGORITHMS",
     "ALL_STRUCTURES",
+    "batch_count",
     "BatchRecord",
     "BatchView",
     "make_batches",
@@ -39,4 +47,5 @@ __all__ = [
     "StreamConfig",
     "StreamDriver",
     "StreamResult",
+    "TunerConfig",
 ]

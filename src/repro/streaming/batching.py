@@ -16,12 +16,50 @@ materializing it.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import DatasetError
 from repro.graph.edge import EdgeBatch
+
+
+def _validate_schedule(schedule: Sequence[int]) -> Tuple[int, ...]:
+    sizes = tuple(int(size) for size in schedule)
+    if not sizes:
+        raise DatasetError("batch schedule must not be empty")
+    for size in sizes:
+        if size < 1:
+            raise DatasetError(f"batch schedule sizes must be >= 1, got {size}")
+    return sizes
+
+
+def _schedule_offsets(num_edges: int, schedule: Tuple[int, ...]) -> np.ndarray:
+    """Batch boundary offsets [0, ..., num_edges] under a cycled schedule."""
+    offsets = [0]
+    index = 0
+    while offsets[-1] < num_edges:
+        offsets.append(
+            min(offsets[-1] + schedule[index % len(schedule)], num_edges)
+        )
+        index += 1
+    return np.asarray(offsets, dtype=np.int64)
+
+
+def batch_count(
+    num_edges: int,
+    batch_size: int,
+    schedule: Optional[Sequence[int]] = None,
+) -> int:
+    """How many batches a stream splits into, without building the view.
+
+    With ``schedule`` (a cycled sequence of per-batch sizes, e.g. the
+    regime-shifting streams of the auto-tuner bench), the count follows
+    the schedule; otherwise it is the usual ceil division.
+    """
+    if schedule is not None:
+        return len(_schedule_offsets(num_edges, _validate_schedule(schedule))) - 1
+    return (num_edges + batch_size - 1) // batch_size
 
 
 class BatchView:
@@ -33,6 +71,11 @@ class BatchView:
     ``order=None`` (unshuffled) batches are zero-copy slices of the
     backing arrays, memory-mapped or not.
 
+    ``schedule`` overrides the fixed ``batch_size`` with a cycled
+    sequence of per-batch sizes (batch ``i`` holds
+    ``schedule[i % len(schedule)]`` edges, the final batch truncated):
+    the regime-shifting streams the adaptive driver is benchmarked on.
+
     Supports ``len``, indexing (negative too), iteration, and equality
     with lists/tuples of batches so existing call sites and tests that
     treated the result as a list keep working.
@@ -43,6 +86,7 @@ class BatchView:
         edges: EdgeBatch,
         batch_size: int,
         order: Optional[np.ndarray] = None,
+        schedule: Optional[Sequence[int]] = None,
     ) -> None:
         if batch_size < 1:
             raise DatasetError(f"batch_size must be >= 1, got {batch_size}")
@@ -53,18 +97,40 @@ class BatchView:
         self.edges = edges
         self.batch_size = batch_size
         self.order = order
-        self._count = (len(edges) + batch_size - 1) // batch_size
+        self.schedule = None
+        self._offsets = None
+        if schedule is not None:
+            self.schedule = _validate_schedule(schedule)
+            self._offsets = _schedule_offsets(len(edges), self.schedule)
+            self._count = len(self._offsets) - 1
+        else:
+            self._count = (len(edges) + batch_size - 1) // batch_size
 
     def __len__(self) -> int:
         return self._count
+
+    def size_of(self, index: int) -> int:
+        """Length of batch ``index`` without gathering its edges."""
+        if index < 0:
+            index += self._count
+        if not 0 <= index < self._count:
+            raise IndexError(f"batch index {index} out of range")
+        if self._offsets is not None:
+            return int(self._offsets[index + 1] - self._offsets[index])
+        start = index * self.batch_size
+        return min(start + self.batch_size, len(self.edges)) - start
 
     def __getitem__(self, index: int) -> EdgeBatch:
         if index < 0:
             index += self._count
         if not 0 <= index < self._count:
             raise IndexError(f"batch index {index} out of range")
-        start = index * self.batch_size
-        stop = min(start + self.batch_size, len(self.edges))
+        if self._offsets is not None:
+            start = int(self._offsets[index])
+            stop = int(self._offsets[index + 1])
+        else:
+            start = index * self.batch_size
+            stop = min(start + self.batch_size, len(self.edges))
         if self.order is None:
             return self.edges.slice(start, stop)
         take = self.order[start:stop]
@@ -95,8 +161,12 @@ class BatchView:
 
     def __repr__(self) -> str:
         kind = "shuffled" if self.order is not None else "ordered"
+        width = (
+            f"schedule{self.schedule}" if self.schedule is not None
+            else str(self.batch_size)
+        )
         return (
-            f"BatchView({self._count} x {self.batch_size} {kind} batches "
+            f"BatchView({self._count} x {width} {kind} batches "
             f"over {len(self.edges)} edges)"
         )
 
@@ -106,6 +176,7 @@ def make_batches(
     batch_size: int,
     shuffle_seed: int = 0,
     shuffle: bool = True,
+    schedule: Optional[Sequence[int]] = None,
 ) -> BatchView:
     """Shuffle ``edges`` and slice the stream into batches, lazily.
 
@@ -113,9 +184,12 @@ def make_batches(
     produce an empty view.  Batch contents are bit-identical to the
     eager ``edges.shuffled(seed)`` + ``slice`` pipeline this replaces:
     the same ``default_rng(seed).permutation`` order, applied per batch.
+    ``schedule`` cycles per-batch sizes instead of the fixed
+    ``batch_size`` (the shuffle order is unaffected -- only where the
+    batch boundaries fall).
     """
     order = None
     if shuffle and len(edges):
         rng = np.random.default_rng(shuffle_seed)
         order = rng.permutation(len(edges))
-    return BatchView(edges, batch_size, order)
+    return BatchView(edges, batch_size, order, schedule=schedule)

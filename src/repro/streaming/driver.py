@@ -38,7 +38,7 @@ from repro.obs.tracer import TRACER
 from repro.sim.cost_model import CostModel, DEFAULT_COST_MODEL
 from repro.sim.machine import MachineConfig, SKYLAKE_GOLD_6142
 from repro.sim.scheduler import ScheduleResult
-from repro.streaming.batching import make_batches
+from repro.streaming.batching import batch_count, make_batches
 from repro.streaming.results import BatchRecord, StreamResult
 
 #: The paper's four structures (the default characterization matrix);
@@ -50,6 +50,11 @@ ALL_ALGORITHMS = ("BFS", "CC", "MC", "PR", "SSSP", "SSWP")
 #: sweep engine relies on this to run single repetitions as independent
 #: cells that reproduce the exact batches of a multi-repetition run.
 REP_SEED_STRIDE = 7919
+
+#: Shared empty columns (read-only by convention) for batches that
+#: inserted or removed nothing.
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_WEIGHTS = np.empty(0, dtype=np.float64)
 
 
 class _InEdgeBuffer:
@@ -241,6 +246,23 @@ class StreamConfig:
     #: repro.streaming.sharded).  1 = the serial model; algorithm
     #: results are bit-identical either way.
     shards: int = 1
+    #: Cycled per-batch sizes overriding ``batch_size`` (regime-shifting
+    #: streams: batch ``i`` holds ``batch_schedule[i % len]`` edges).
+    batch_schedule: Optional[Tuple[int, ...]] = None
+    #: Adaptive mode (``structures=("adaptive",)`` with
+    #: ``models=("adaptive",)``): the pool the auto-tuner picks from.
+    #: ``None`` means the paper's full matrix (ALL_STRUCTURES and both
+    #: compute models).
+    candidate_structures: Optional[Tuple[str, ...]] = None
+    candidate_models: Optional[Tuple[str, ...]] = None
+    #: Tuner knobs (a repro.streaming.autotune.TunerConfig); ``None``
+    #: uses the environment-derived defaults.
+    autotune: Optional[object] = None
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True when the auto-tuner drives (structure, model) selection."""
+        return self.structures == ("adaptive",)
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -253,15 +275,47 @@ class StreamConfig:
             raise ConfigError(f"repetitions must be >= 1, got {self.repetitions}")
         if self.shards < 1:
             raise ConfigError(f"shards must be >= 1, got {self.shards}")
-        for name in self.structures:
-            if name not in STRUCTURES:
-                raise ConfigError(f"unknown structure {name!r}")
+        if self.batch_schedule is not None:
+            if not self.batch_schedule:
+                raise ConfigError("batch_schedule must not be empty")
+            for size in self.batch_schedule:
+                if size < 1:
+                    raise ConfigError(
+                        f"batch_schedule sizes must be >= 1, got {size}"
+                    )
+            if self.shards != 1:
+                raise ConfigError("batch_schedule requires shards == 1")
+        adaptive = "adaptive" in self.structures or "adaptive" in self.models
+        if adaptive:
+            if self.structures != ("adaptive",) or self.models != ("adaptive",):
+                raise ConfigError(
+                    "adaptive mode is all-or-nothing: use "
+                    "structures=('adaptive',) together with "
+                    "models=('adaptive',)"
+                )
+            if self.shards != 1:
+                raise ConfigError("adaptive mode requires shards == 1")
+            for name in self.candidate_structures or ():
+                if name not in STRUCTURES:
+                    raise ConfigError(f"unknown candidate structure {name!r}")
+            for model in self.candidate_models or ():
+                if model not in COMPUTE_MODELS:
+                    raise ConfigError(f"unknown candidate model {model!r}")
+        else:
+            for name in self.structures:
+                if name not in STRUCTURES:
+                    raise ConfigError(f"unknown structure {name!r}")
+            for model in self.models:
+                if model not in COMPUTE_MODELS:
+                    raise ConfigError(f"unknown compute model {model!r}")
+            if self.candidate_structures or self.candidate_models:
+                raise ConfigError(
+                    "candidate_structures/candidate_models only apply to "
+                    "adaptive mode (structures=('adaptive',))"
+                )
         for name in self.algorithms:
             if name not in ALGORITHMS:
                 raise ConfigError(f"unknown algorithm {name!r}")
-        for model in self.models:
-            if model not in COMPUTE_MODELS:
-                raise ConfigError(f"unknown compute model {model!r}")
 
 
 class StreamDriver:
@@ -289,7 +343,9 @@ class StreamDriver:
         ctx = ExecutionContext(
             machine=cfg.machine, threads=cfg.threads, cost_model=cfg.cost_model
         )
-        batches_per_rep = (len(dataset.edges) + cfg.batch_size - 1) // cfg.batch_size
+        batches_per_rep = batch_count(
+            len(dataset.edges), cfg.batch_size, cfg.batch_schedule
+        )
         result = StreamResult(
             dataset=dataset.name,
             machine=cfg.machine,
@@ -433,6 +489,101 @@ class StreamDriver:
                 f"graph inserted {expected}"
             )
 
+    @staticmethod
+    def _ingest_reference(reference, batch, dataset, deg_in, deg_out, incidence):
+        """Apply ``batch`` to the reference graph and incremental arrays.
+
+        Returns ``(inserted_count, ins_src, ins_dst, ins_weight)`` --
+        the incidence-ordered insert columns (reverse edges interleaved
+        for undirected graphs), empty when nothing new landed.
+        """
+        inserted = reference.update_collect(batch)
+        ins_src = ins_dst = _EMPTY_IDS
+        ins_weight = _EMPTY_WEIGHTS
+        if inserted:
+            ins_src, ins_dst, ins_weight = _edge_arrays(inserted)
+            np.add.at(deg_out, ins_src, 1)
+            np.add.at(deg_in, ins_dst, 1)
+            if not dataset.directed:
+                mirrored = ins_src != ins_dst
+                np.add.at(deg_out, ins_dst[mirrored], 1)
+                np.add.at(deg_in, ins_src[mirrored], 1)
+                ins_src, ins_dst, ins_weight = _with_reverse_interleaved(
+                    ins_src, ins_dst, ins_weight
+                )
+            incidence.append(ins_src, ins_dst, ins_weight)
+        return len(inserted), ins_src, ins_dst, ins_weight
+
+    @staticmethod
+    def _churn_reference(reference, victims, dataset, deg_in, deg_out, incidence):
+        """Apply churn ``victims`` to the reference graph and arrays.
+
+        Returns ``(removed, rem_src, rem_dst)``: the removed edge list
+        plus the incidence-ordered delete columns.
+        """
+        removed = reference.delete_collect(victims)
+        rem_src = rem_dst = _EMPTY_IDS
+        if removed:
+            rem_src, rem_dst, rem_weight = _edge_arrays(removed)
+            np.add.at(deg_out, rem_src, -1)
+            np.add.at(deg_in, rem_dst, -1)
+            if not dataset.directed:
+                mirrored = rem_src != rem_dst
+                np.add.at(deg_out, rem_dst[mirrored], -1)
+                np.add.at(deg_in, rem_src[mirrored], -1)
+                rem_src, rem_dst, _ = _with_reverse_interleaved(
+                    rem_src, rem_dst, rem_weight
+                )
+            incidence.delete(rem_src, rem_dst)
+        return removed, rem_src, rem_dst
+
+    @staticmethod
+    def _build_compute_view(
+        maintainer, incidence, n, ins_src, ins_dst, ins_weight, rem_src, rem_dst
+    ):
+        """The per-batch compute substrate: CSR view or raw in-edges.
+
+        One incremental CSR update per batch (full rebuild only under
+        extreme churn or after a structure migration), shared by every
+        algorithm x model run through the view scope.
+        """
+        in_edges = None
+        compute_view = None
+        if maintainer is not None and n:
+            with TRACER.span("compute.view"):
+                compute_view = maintainer.apply(
+                    ins_src,
+                    ins_dst,
+                    ins_weight,
+                    rem_src,
+                    rem_dst,
+                    n,
+                    incidence.arrays,
+                )
+        elif maintainer is None:
+            in_edges = incidence.view()
+        return in_edges, compute_view
+
+    @staticmethod
+    def _execute_compute(
+        algorithm, model, reference, state, batch, removed, source, in_edges
+    ):
+        """Every run one algorithm x model schedules for this batch.
+
+        FS reruns from scratch; INC applies the batch incrementally and,
+        under churn, appends the KickStarter-style deletion repair whose
+        cost belongs to the same compute phase.
+        """
+        if model == "FS":
+            return [algorithm.fs_run(reference, source=source, in_edges=in_edges)]
+        affected = algorithm.affected_from_batch(batch, reference)
+        runs = [algorithm.inc_run(reference, state, affected, source=source)]
+        if removed:
+            runs.append(
+                algorithm.inc_delete_run(reference, state, removed, source=source)
+            )
+        return runs
+
     def _run_repetition(
         self,
         dataset: Dataset,
@@ -448,6 +599,7 @@ class StreamDriver:
             dataset.edges,
             cfg.batch_size,
             shuffle_seed=cfg.shuffle_seed + REP_SEED_STRIDE * rep,
+            schedule=cfg.batch_schedule,
         )
         structures = self._make_structures(dataset)
         reference = ReferenceGraph(dataset.max_nodes, directed=dataset.directed)
@@ -459,8 +611,6 @@ class StreamDriver:
         deg_in = np.zeros(dataset.max_nodes, dtype=np.int64)
         deg_out = np.zeros(dataset.max_nodes, dtype=np.int64)
         incidence = _InEdgeBuffer(dataset.max_nodes)
-        empty_ids = np.empty(0, dtype=np.int64)
-        empty_wts = np.empty(0, dtype=np.float64)
 
         for batch_index, batch in enumerate(batches):
             record = BatchRecord(
@@ -475,28 +625,17 @@ class StreamDriver:
             structure_inserted = self._update_structures(
                 structures, batch, dataset, ctx, record, sim_clocks
             )
-            inserted = reference.update_collect(batch)
             # The reference graph is the single source of truth for how
             # many unique edges the batch contributed; the instrumented
             # structures must agree with it (and with each other).
-            record.edges_inserted = len(inserted)
+            inserted_count, ins_src, ins_dst, ins_weight = self._ingest_reference(
+                reference, batch, dataset, deg_in, deg_out, incidence
+            )
+            record.edges_inserted = inserted_count
             if __debug__:
-                self._verify_inserted(structure_inserted, len(inserted))
-            ins_src = ins_dst = rem_src = rem_dst = empty_ids
-            ins_weight = empty_wts
-            if inserted:
-                ins_src, ins_dst, ins_weight = _edge_arrays(inserted)
-                np.add.at(deg_out, ins_src, 1)
-                np.add.at(deg_in, ins_dst, 1)
-                if not dataset.directed:
-                    mirrored = ins_src != ins_dst
-                    np.add.at(deg_out, ins_dst[mirrored], 1)
-                    np.add.at(deg_in, ins_src[mirrored], 1)
-                    ins_src, ins_dst, ins_weight = _with_reverse_interleaved(
-                        ins_src, ins_dst, ins_weight
-                    )
-                incidence.append(ins_src, ins_dst, ins_weight)
+                self._verify_inserted(structure_inserted, inserted_count)
             removed: list = []
+            rem_src = rem_dst = _EMPTY_IDS
             churn_attempted = 0
             if cfg.churn_fraction > 0.0 and len(batch):
                 victims = batch.slice(
@@ -506,19 +645,9 @@ class StreamDriver:
                 self._delete_structures(
                     structures, victims, dataset, ctx, record, sim_clocks
                 )
-                removed = reference.delete_collect(victims)
-                if removed:
-                    rem_src, rem_dst, rem_weight = _edge_arrays(removed)
-                    np.add.at(deg_out, rem_src, -1)
-                    np.add.at(deg_in, rem_dst, -1)
-                    if not dataset.directed:
-                        mirrored = rem_src != rem_dst
-                        np.add.at(deg_out, rem_dst[mirrored], -1)
-                        np.add.at(deg_in, rem_src[mirrored], -1)
-                        rem_src, rem_dst, _ = _with_reverse_interleaved(
-                            rem_src, rem_dst, rem_weight
-                        )
-                    incidence.delete(rem_src, rem_dst)
+                removed, rem_src, rem_dst = self._churn_reference(
+                    reference, victims, dataset, deg_in, deg_out, incidence
+                )
             n = reference.num_nodes
             record.num_nodes = n
             record.num_edges = reference.num_edges
@@ -549,25 +678,10 @@ class StreamDriver:
                         ops=update_ops,
                         **base_row,
                     )
-            in_edges = None
-            compute_view = None
-            if maintainer is not None and n:
-                # One incremental CSR update per batch (full rebuild
-                # only under extreme churn), shared by every algorithm
-                # x model run through the view scope (so third-party
-                # fs_run signatures stay untouched).
-                with TRACER.span("compute.view"):
-                    compute_view = maintainer.apply(
-                        ins_src,
-                        ins_dst,
-                        ins_weight,
-                        rem_src,
-                        rem_dst,
-                        n,
-                        incidence.arrays,
-                    )
-            elif maintainer is None:
-                in_edges = incidence.view()
+            in_edges, compute_view = self._build_compute_view(
+                maintainer, incidence, n,
+                ins_src, ins_dst, ins_weight, rem_src, rem_dst,
+            )
 
             # ---- Compute phase: each algorithm under each model ----
             with TRACER.span("compute") as compute_span, kernels.view_scope(
@@ -577,33 +691,11 @@ class StreamDriver:
                     algorithm = get_algorithm(alg_name)
                     for model in cfg.models:
                         wall_start = time.perf_counter() if features_on else 0.0
-                        if model == "FS":
-                            run = algorithm.fs_run(
-                                reference, source=source, in_edges=in_edges
-                            )
-                        else:
-                            affected = algorithm.affected_from_batch(
-                                batch, reference
-                            )
-                            runs = [
-                                algorithm.inc_run(
-                                    reference, states[alg_name], affected,
-                                    source=source,
-                                )
-                            ]
-                            if removed:
-                                # Churn: repair the state after deletions
-                                # (sound KickStarter-style invalidation);
-                                # its cost belongs to this compute phase.
-                                runs.append(
-                                    algorithm.inc_delete_run(
-                                        reference, states[alg_name], removed,
-                                        source=source,
-                                    )
-                                )
-                            run = runs[0]
-                        if model == "FS" or not removed:
-                            runs = [run]
+                        runs = self._execute_compute(
+                            algorithm, model, reference,
+                            states.get(alg_name), batch, removed, source,
+                            in_edges,
+                        )
                         record.compute_iterations[(alg_name, model)] = sum(
                             r.iteration_count for r in runs
                         )
@@ -668,13 +760,19 @@ class StreamDriver:
 
 
 def make_driver(config: Optional[StreamConfig] = None) -> StreamDriver:
-    """The driver matching ``config``: sharded when ``shards > 1``.
+    """The driver matching ``config``: sharded when ``shards > 1``,
+    adaptive when ``structures=("adaptive",)``.
 
     Call sites (the sweep engine, the CLI, benches) construct through
-    this factory so the partition-parallel path is picked up anywhere a
-    config asks for it.
+    this factory so the partition-parallel and auto-tuned paths are
+    picked up anywhere a config asks for them.
     """
     config = config if config is not None else StreamConfig()
+    if config.is_adaptive:
+        # Local import: autotune builds on this module.
+        from repro.streaming.autotune import AdaptiveStreamDriver
+
+        return AdaptiveStreamDriver(config)
     if config.shards > 1:
         # Local import: sharded builds on this module.
         from repro.streaming.sharded import ShardedStreamDriver

@@ -170,3 +170,40 @@ def test_self_test_on_committed_snapshots():
     ]
     ok, message = self_test(history)
     assert ok, message
+
+
+def test_autotune_payload_flattens_comparison_timings():
+    """BENCH_autotune.json-shaped payloads replay into history records."""
+    payload = {
+        "workload": {
+            "dataset": "RMAT",
+            "schedule": [200, 6000],
+            "structures": ["AS", "AC"],
+            "algorithms": ["BFS", "PR"],
+        },
+        "python": "3.11.0",
+        "adaptive_wall_seconds": 2.5,
+        "adaptive_sim_seconds": 0.0035,
+        "oracle_sim_seconds": 0.0034,
+        "median_static_sim_seconds": 0.03,
+        "adaptive_vs_oracle": 1.03,  # a ratio, not a timing
+        "switches": 1,
+        "static_combos": {"AS/INC": 0.0055, "AC/INC": 0.0057},
+        "verified": {"bit_identical": True},
+        "passed": True,
+    }
+    record = record_from_bench_json(payload, bench="autotune")
+    timings = record["timings"]
+    assert timings["adaptive_sim_seconds"] == 0.0035
+    assert timings["oracle_sim_seconds"] == 0.0034
+    assert timings["median_static_sim_seconds"] == 0.03
+    assert timings["adaptive_wall_seconds"] == 2.5
+    # Ratios, counts, booleans, and the combo map stay out of timings.
+    assert "adaptive_vs_oracle" not in timings
+    assert "switches" not in timings
+    assert not any(key.startswith("static_combos") for key in timings)
+    assert not any(key.startswith("verified") for key in timings)
+    assert record["env"]["python"] == "3.11.0"
+    # The detector accepts a history made of such records.
+    history = [record] * 3
+    assert detect_regressions(history) == []

@@ -165,3 +165,34 @@ def test_exact_linear_data_recovered():
     assert fit.r2 == pytest.approx(1.0)
     # predict_batch extrapolates through ops_per_edge (= 4 ops/edge).
     assert fit.predict_batch(1000) == pytest.approx(0.5 + 2e-6 * 4000)
+
+
+def test_missing_group_error_lists_available(quick_fit):
+    model, _, _, _ = quick_fit
+    with pytest.raises(ConfigError, match="available groups"):
+        model.group("compute", "no-such-structure", "BFS", "FS")
+    try:
+        model.group("compute", "no-such-structure", "BFS", "FS")
+    except ConfigError as err:
+        # The message names real groups the caller could have asked for.
+        assert "update/AS" in str(err)
+    empty = FittedCostModel()
+    with pytest.raises(ConfigError, match="none \\(empty model\\)"):
+        empty.group("update", "AS")
+
+
+def test_schema_mismatch_message_says_how_to_refit():
+    with pytest.raises(ConfigError, match="re-fit the model"):
+        FittedCostModel.from_json(
+            {"schema": MODEL_SCHEMA_VERSION + 1, "groups": []}
+        )
+
+
+def test_predict_convenience(quick_fit):
+    model, _, _, _ = quick_fit
+    fit = model.group("update", "AS")
+    assert model.predict("update", "AS", ops=5000.0) == pytest.approx(
+        fit.predict(5000.0)
+    )
+    with pytest.raises(ConfigError, match="available groups"):
+        model.predict("update", "no-such-structure", ops=10.0)
